@@ -1,0 +1,396 @@
+package gpuport
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper, regenerating the corresponding result and reporting its
+// headline numbers as custom metrics, plus ablation benchmarks for the
+// design choices called out in DESIGN.md.
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"sync"
+	"testing"
+
+	"gpuport/internal/analysis"
+	"gpuport/internal/apps"
+	"gpuport/internal/chip"
+	"gpuport/internal/cost"
+	"gpuport/internal/dataset"
+	"gpuport/internal/graph"
+	"gpuport/internal/measure"
+	"gpuport/internal/microbench"
+	"gpuport/internal/opt"
+	"gpuport/internal/stats"
+	"gpuport/internal/study"
+)
+
+var (
+	benchOnce  sync.Once
+	benchStudy *study.Study
+	benchErr   error
+)
+
+func sharedStudy(b *testing.B) *study.Study {
+	b.Helper()
+	benchOnce.Do(func() { benchStudy, benchErr = study.Default() })
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchStudy
+}
+
+// BenchmarkDatasetCollection measures the full experiment sweep:
+// 51 application traces expanded into 29,376 measured cells.
+func BenchmarkDatasetCollection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := measure.Collect(measure.Options{Seed: 42, Runs: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.Len() == 0 {
+			b.Fatal("empty dataset")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the chip registry (trivially cheap; kept
+// so every table has its bench target).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(chip.All()) != 6 {
+			b.Fatal("chip registry broken")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the per-chip extreme effects.
+func BenchmarkTable2(b *testing.B) {
+	d := sharedStudy(b).Dataset()
+	b.ResetTimer()
+	var maxSpeed, maxSlow float64
+	for i := 0; i < b.N; i++ {
+		for _, e := range analysis.Extremes(d) {
+			if e.MaxSpeedup > maxSpeed {
+				maxSpeed = e.MaxSpeedup
+			}
+			if e.MaxSlowdown > maxSlow {
+				maxSlow = e.MaxSlowdown
+			}
+		}
+	}
+	b.ReportMetric(maxSpeed, "max-speedup-x")
+	b.ReportMetric(maxSlow, "max-slowdown-x")
+}
+
+// BenchmarkTable3 regenerates the global configuration ranking.
+func BenchmarkTable3(b *testing.B) {
+	d := sharedStudy(b).Dataset()
+	b.ResetTimer()
+	var top float64
+	for i := 0; i < b.N; i++ {
+		ranks := analysis.RankConfigs(d)
+		top = analysis.MaxGeoMeanConfig(ranks).GeoMean
+	}
+	b.ReportMetric(top, "best-geomean")
+}
+
+// BenchmarkTable4 regenerates the per-chip bias breakdown.
+func BenchmarkTable4(b *testing.B) {
+	s := sharedStudy(b)
+	cfg := analysis.MaxGeoMeanConfig(s.Ranks()).Config
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(analysis.PerChipCounts(s.Dataset(), cfg)) != 6 {
+			b.Fatal("missing chips")
+		}
+	}
+}
+
+// BenchmarkTable9 regenerates the chip-specialised recommendations
+// (Algorithm 1 over six chip partitions).
+func BenchmarkTable9(b *testing.B) {
+	d := sharedStudy(b).Dataset()
+	b.ResetTimer()
+	var enabled int
+	for i := 0; i < b.N; i++ {
+		spec := analysis.Specialise(d, analysis.Dims{Chip: true})
+		enabled = 0
+		for _, p := range spec.Partitions {
+			for _, dec := range p.Decisions {
+				if dec.Enabled {
+					enabled++
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(enabled), "flags-enabled")
+}
+
+// BenchmarkTableX regenerates the two microbenchmark rows.
+func BenchmarkTableX(b *testing.B) {
+	var r9, mali float64
+	for i := 0; i < b.N; i++ {
+		sgcmb, mdivg := microbench.TableX(chip.All())
+		for _, s := range sgcmb {
+			if s.Chip == chip.R9 {
+				r9 = s.Factor
+			}
+		}
+		for _, s := range mdivg {
+			if s.Chip == chip.MALI {
+				mali = s.Factor
+			}
+		}
+	}
+	b.ReportMetric(r9, "sgcmb-R9-x")
+	b.ReportMetric(mali, "mdivg-MALI-x")
+}
+
+// BenchmarkFigure1 regenerates the cross-chip portability heatmap.
+func BenchmarkFigure1(b *testing.B) {
+	d := sharedStudy(b).Dataset()
+	b.ResetTimer()
+	var worstCol float64
+	for i := 0; i < b.N; i++ {
+		h := analysis.CrossChipHeatmap(d)
+		worstCol = 0
+		for _, v := range h.ColMeanOffDiag {
+			if v > worstCol {
+				worstCol = v
+			}
+		}
+	}
+	b.ReportMetric(worstCol, "worst-col-geomean")
+}
+
+// BenchmarkFigure2 regenerates the per-chip top-speedup flag counts.
+func BenchmarkFigure2(b *testing.B) {
+	d := sharedStudy(b).Dataset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(analysis.TopSpeedupOpts(d)) != 6 {
+			b.Fatal("missing chips")
+		}
+	}
+}
+
+// BenchmarkFigure3And4 regenerates the strategy evaluations (both
+// figures come from the same computation).
+func BenchmarkFigure3And4(b *testing.B) {
+	d := sharedStudy(b).Dataset()
+	strategies := analysis.StandardStrategies(d)
+	b.ResetTimer()
+	var globalVsOracle float64
+	for i := 0; i < b.N; i++ {
+		evals, _ := analysis.EvaluateAll(d, strategies)
+		for _, e := range evals {
+			if e.Name == "global" {
+				globalVsOracle = e.GeoMeanSlowdownVsOracle
+			}
+		}
+	}
+	b.ReportMetric(globalVsOracle, "global-vs-oracle")
+}
+
+// BenchmarkFigure5 regenerates the launch-overhead utilisation sweep.
+func BenchmarkFigure5(b *testing.B) {
+	sweep := microbench.Figure5Sweep()
+	var nvidiaAt10us float64
+	for i := 0; i < b.N; i++ {
+		for _, ch := range chip.All() {
+			pts := microbench.LaunchOverhead(ch, sweep)
+			if ch.Name == chip.GTX1080 {
+				nvidiaAt10us = pts[2].Utilisation
+			}
+		}
+	}
+	b.ReportMetric(nvidiaAt10us*100, "gtx1080-util-pct-at-10us")
+}
+
+// BenchmarkAlgorithm1AllSpecialisations runs Algorithm 1 at every
+// degree of specialisation (the full Section VII computation).
+func BenchmarkAlgorithm1AllSpecialisations(b *testing.B) {
+	d := sharedStudy(b).Dataset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, dims := range analysis.AllDims() {
+			analysis.Specialise(d, dims)
+		}
+	}
+}
+
+// --- workload generators: one bench per application per input class ---
+
+func benchApp(b *testing.B, name string, g *graph.Graph) {
+	app, err := apps.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var edges int64
+	for i := 0; i < b.N; i++ {
+		tr, _ := app.Run(g)
+		edges = tr.TotalEdgeWork()
+	}
+	b.ReportMetric(float64(edges), "edge-work")
+}
+
+func BenchmarkAppsOnRoad(b *testing.B) {
+	g := graph.GenerateRoad("bench-road", 48, 1)
+	for _, app := range apps.All() {
+		b.Run(app.Name, func(b *testing.B) { benchApp(b, app.Name, g) })
+	}
+}
+
+func BenchmarkAppsOnSocial(b *testing.B) {
+	g := graph.GenerateRMAT("bench-rmat", 11, 16, 2)
+	for _, app := range apps.All() {
+		b.Run(app.Name, func(b *testing.B) { benchApp(b, app.Name, g) })
+	}
+}
+
+// BenchmarkCostModel measures per-launch cost evaluation throughput.
+func BenchmarkCostModel(b *testing.B) {
+	g := graph.GenerateRMAT("bench-cost", 10, 8, 3)
+	app, _ := apps.ByName("bfs-wl")
+	tr, _ := app.Run(g)
+	tp := cost.NewTraceProfile(tr)
+	chips := chip.All()
+	cfgs := opt.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch := chips[i%len(chips)]
+		cfg := cfgs[i%len(cfgs)]
+		if cost.Estimate(ch, cfg, tp) <= 0 {
+			b.Fatal("bad estimate")
+		}
+	}
+}
+
+// BenchmarkMWU measures the core statistical test.
+func BenchmarkMWU(b *testing.B) {
+	rng := stats.NewRNG(1)
+	a := make([]float64, 500)
+	bb := make([]float64, 500)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		bb[i] = rng.NormFloat64() + 0.1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.MannWhitneyU(a, bb)
+	}
+}
+
+// BenchmarkSamplingCurve runs the Section IX subsampling experiment at
+// 30% sampling, reporting the recommendation agreement it achieves.
+func BenchmarkSamplingCurve(b *testing.B) {
+	d := sharedStudy(b).Dataset()
+	b.ResetTimer()
+	var agree float64
+	for i := 0; i < b.N; i++ {
+		pts := analysis.SamplingCurve(d, analysis.Dims{Chip: true}, []float64{0.3}, 3, 7)
+		agree = pts[0].MeanAgreement
+	}
+	b.ReportMetric(agree*100, "agreement-pct-at-30pct-sample")
+}
+
+// BenchmarkCrossValidate runs leave-one-chip-out prediction, reporting
+// the mean gap to the oracle for unseen hardware.
+func BenchmarkCrossValidate(b *testing.B) {
+	d := sharedStudy(b).Dataset()
+	b.ResetTimer()
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		results := analysis.CrossValidate(d, analysis.LOOChip)
+		sum := 0.0
+		for _, r := range results {
+			sum += r.Eval.GeoMeanSlowdownVsOracle
+		}
+		mean = sum / float64(len(results))
+	}
+	b.ReportMetric(mean, "unseen-chip-vs-oracle")
+}
+
+// --- ablation benchmarks: design choices of DESIGN.md section 5 ---
+
+// BenchmarkAblationMagnitudeVsRank contrasts the paper's rank-based
+// global pick against the flawed maximise-geomean policy, reporting the
+// worst per-chip slowdown count each incurs (the Table IV bias).
+func BenchmarkAblationMagnitudeVsRank(b *testing.B) {
+	s := sharedStudy(b)
+	d := s.Dataset()
+	var rankWorst, magWorst float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rankCfg := s.Global().Strategy.Config(dataset.Tuple{})
+		magCfg := analysis.MaxGeoMeanConfig(s.Ranks()).Config
+		rankWorst, magWorst = 0, 0
+		for _, cc := range analysis.PerChipCounts(d, rankCfg) {
+			if float64(cc.Slowdowns) > rankWorst {
+				rankWorst = float64(cc.Slowdowns)
+			}
+		}
+		for _, cc := range analysis.PerChipCounts(d, magCfg) {
+			if float64(cc.Slowdowns) > magWorst {
+				magWorst = float64(cc.Slowdowns)
+			}
+		}
+	}
+	b.ReportMetric(rankWorst, "rank-pick-worst-chip-slowdowns")
+	b.ReportMetric(magWorst, "magnitude-pick-worst-chip-slowdowns")
+}
+
+// BenchmarkAblationSignificanceGate contrasts Algorithm 1 with and
+// without the 95% CI significance gate, reporting how many of the 42
+// per-chip flag decisions flip when raw (ungated) ratios feed the MWU
+// test. A non-zero flip count is the reason the gate exists.
+func BenchmarkAblationSignificanceGate(b *testing.B) {
+	d := sharedStudy(b).Dataset()
+	var flips float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gated := analysis.Specialise(d, analysis.Dims{Chip: true})
+		ungated := analysis.SpecialiseUngated(d, analysis.Dims{Chip: true})
+		flips = 0
+		for p := range gated.Partitions {
+			for f := range gated.Partitions[p].Decisions {
+				if gated.Partitions[p].Decisions[f].Enabled != ungated.Partitions[p].Decisions[f].Enabled {
+					flips++
+				}
+			}
+		}
+	}
+	b.ReportMetric(flips, "decision-flips")
+}
+
+// BenchmarkAblationTraceReuse contrasts the trace-driven design (trace
+// once per app/input, evaluate 96 configs against it) with what a
+// näive per-config re-execution would cost, using one application.
+func BenchmarkAblationTraceReuse(b *testing.B) {
+	g := graph.GenerateRMAT("bench-reuse", 10, 8, 4)
+	app, _ := apps.ByName("sssp-nf")
+	chips := chip.All()
+	b.Run("trace-once", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr, _ := app.Run(g)
+			tp := cost.NewTraceProfile(tr)
+			for _, ch := range chips {
+				for _, cfg := range opt.All() {
+					cost.Estimate(ch, cfg, tp)
+				}
+			}
+		}
+	})
+	b.Run("retrace-per-config", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// One re-execution per configuration (single chip to keep
+			// the benchmark affordable; the full factor is 6x larger).
+			for range opt.All() {
+				tr, _ := app.Run(g)
+				tp := cost.NewTraceProfile(tr)
+				cost.Estimate(chips[0], opt.Config{}, tp)
+			}
+		}
+	})
+}

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"os"
+
+	"gpuport/internal/graph"
+)
+
+// writeTestGraph writes a small binary graph for the -graph flag test.
+func writeTestGraph(path string) error {
+	g := graph.GenerateUniform("custom-bin", 400, 5, 11)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return graph.WriteBinary(f, g)
+}

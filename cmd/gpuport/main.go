@@ -1,0 +1,497 @@
+// Command gpuport reproduces the study end to end: it generates the
+// dataset (running all 17 graph applications on the 3 inputs and
+// sweeping the 96 optimisation configurations across the 6 chip
+// models), runs the portability analysis, and prints every table and
+// figure of the paper.
+//
+// Usage:
+//
+//	gpuport all                  print every table and figure
+//	gpuport dataset -out d.csv   generate and save the dataset
+//	gpuport table <1..10>        print one table
+//	gpuport figure <1..5>        print one figure
+//	gpuport micro                print Table X and Figure 5
+//	gpuport inputs               print input properties (Table VIII)
+//	gpuport decisions [dims]     print Algorithm 1 flag decisions for a
+//	                             specialisation (global, chip, app,
+//	                             input, chip_app, ... ); default global
+//	gpuport sampling [dims]      Section IX future work: how small a
+//	                             sample of the test domain suffices
+//	gpuport predict [app|input|chip]
+//	                             Section IX future work: leave-one-out
+//	                             prediction for unseen environments
+//	gpuport stability [N]        re-run the study under N seeds and
+//	                             report how stable the conclusions are
+//	gpuport transfer             re-run the study on fresh inputs of the
+//	                             same classes and compare conclusions
+//	gpuport report [-out f.md]   write the full study + extensions as a
+//	                             markdown report (default REPORT.md)
+//
+// Flags (before the subcommand):
+//
+//	-seed N     noise seed (default 42)
+//	-runs N     timed runs per cell (default 3)
+//	-in file    load a previously saved dataset instead of generating
+//	-out file   save the generated dataset as CSV
+//	-v          progress logging to stderr
+//	-md         render tables as markdown instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"gpuport/internal/analysis"
+	"gpuport/internal/apps"
+	"gpuport/internal/chip"
+	"gpuport/internal/dataset"
+	"gpuport/internal/graph"
+	"gpuport/internal/measure"
+	"gpuport/internal/microbench"
+	"gpuport/internal/report"
+	"gpuport/internal/study"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gpuport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("gpuport", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 42, "measurement noise seed")
+	runs := fs.Int("runs", 3, "timed runs per cell")
+	inFile := fs.String("in", "", "load dataset from CSV instead of generating")
+	outFile := fs.String("out", "", "save generated dataset to CSV")
+	verbose := fs.Bool("v", false, "progress logging")
+	md := fs.Bool("md", false, "render tables as markdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	report.Markdown = *md
+	rest := fs.Args()
+	if len(rest) == 0 {
+		rest = []string{"all"}
+	}
+
+	loader := func() (*study.Study, error) {
+		return loadOrCollect(*inFile, *outFile, *seed, *runs, *verbose)
+	}
+
+	switch rest[0] {
+	case "all":
+		s, err := loader()
+		if err != nil {
+			return err
+		}
+		return printAll(w, s)
+	case "dataset":
+		s, err := loader()
+		if err != nil {
+			return err
+		}
+		report.TuplesSummary(w, s.Dataset())
+		if *outFile == "" {
+			fmt.Fprintln(w, "hint: pass -out file.csv to persist the dataset")
+		}
+		return nil
+	case "table":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: gpuport table <1..10>")
+		}
+		n, err := strconv.Atoi(rest[1])
+		if err != nil {
+			return fmt.Errorf("bad table number %q", rest[1])
+		}
+		return printTable(w, n, loader)
+	case "figure":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: gpuport figure <1..5>")
+		}
+		n, err := strconv.Atoi(rest[1])
+		if err != nil {
+			return fmt.Errorf("bad figure number %q", rest[1])
+		}
+		return printFigure(w, n, loader)
+	case "micro":
+		printTableX(w)
+		printFigure5(w)
+		return nil
+	case "inputs":
+		printInputs(w)
+		return nil
+	case "sampling":
+		dims := analysis.Dims{Chip: true}
+		if len(rest) >= 2 {
+			var err error
+			dims, err = parseDims(rest[1])
+			if err != nil {
+				return err
+			}
+		}
+		s, err := loader()
+		if err != nil {
+			return err
+		}
+		pts := s.SamplingCurve(dims, []float64{0.1, 0.2, 0.3, 0.5, 0.75, 1.0}, 5, *seed)
+		report.SamplingCurve(w, dims, pts)
+		return nil
+	case "predict":
+		dim := analysis.LOOApp
+		if len(rest) >= 2 {
+			switch rest[1] {
+			case "app":
+				dim = analysis.LOOApp
+			case "input":
+				dim = analysis.LOOInput
+			case "chip":
+				dim = analysis.LOOChip
+			default:
+				return fmt.Errorf("unknown hold-out dimension %q (app, input or chip)", rest[1])
+			}
+		}
+		s, err := loader()
+		if err != nil {
+			return err
+		}
+		report.CrossValidation(w, dim.String(), s.CrossValidate(dim))
+		return nil
+	case "report":
+		// A full markdown report: every table and figure plus the
+		// extension experiments. Written to -out (default REPORT.md).
+		path := *outFile
+		if path == "" {
+			path = "REPORT.md"
+		}
+		s, err := loadOrCollect(*inFile, "", *seed, *runs, *verbose)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		prevMD := report.Markdown
+		report.Markdown = true
+		defer func() { report.Markdown = prevMD }()
+		if err := writeFullReport(f, s, *seed); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "report written to %s\n", path)
+		return nil
+	case "transfer":
+		res, err := study.InputTransfer(measure.Options{Seed: *seed, Runs: *runs})
+		if err != nil {
+			return err
+		}
+		t := report.NewTable("Do recommendations transfer to fresh inputs of the same classes?",
+			"Metric", "Value").RightAlign(1)
+		t.Row("global pick on standard inputs", res.GlobalA)
+		t.Row("global pick on extended inputs", res.GlobalB)
+		t.Row("per-chip decision agreement", report.F(res.ChipAgreement*100, 1)+"%")
+		t.Row("decisions the fresh domain leaves open", report.F(res.ChipUndecided*100, 1)+"%")
+		t.Row("Table III rank correlation (tau)", report.F(res.RankTau, 3))
+		t.Render(w)
+		return nil
+	case "stability":
+		n := 3
+		if len(rest) >= 2 {
+			v, err := strconv.Atoi(rest[1])
+			if err != nil || v < 2 || v > 10 {
+				return fmt.Errorf("stability wants 2..10 seeds, got %q", rest[1])
+			}
+			n = v
+		}
+		seeds := make([]uint64, n)
+		for i := range seeds {
+			seeds[i] = *seed + uint64(i)
+		}
+		res, err := study.SeedStability(measure.Options{Runs: *runs}, seeds)
+		if err != nil {
+			return err
+		}
+		t := report.NewTable("Conclusion stability across measurement seeds",
+			"Seed", "Global config", "Table III tau", "Table IX agreement").
+			RightAlign(0, 2, 3)
+		for i := range res.Seeds {
+			t.Row(res.Seeds[i], res.GlobalConfigs[i],
+				report.F(res.RankTau[i], 3), report.F(res.ChipAgreement[i]*100, 1)+"%")
+		}
+		t.Render(w)
+		return nil
+	case "decisions":
+		dims := analysis.Dims{}
+		if len(rest) >= 2 {
+			var err error
+			dims, err = parseDims(rest[1])
+			if err != nil {
+				return err
+			}
+		}
+		s, err := loader()
+		if err != nil {
+			return err
+		}
+		printDecisions(w, s.Specialise(dims))
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", rest[0])
+	}
+}
+
+// writeFullReport emits the complete study plus the extension
+// experiments as one markdown document.
+func writeFullReport(w io.Writer, s *study.Study, seed uint64) error {
+	fmt.Fprintln(w, "# gpuport study report")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "Reproduction of \"One Size Doesn't Fit All\" (IISWC 2019); seed %d.\n\n", seed)
+	if err := printAll(w, s); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\n## Extension: sampling sufficiency (Section IX future work)")
+	fmt.Fprintln(w)
+	pts := s.SamplingCurve(analysis.Dims{Chip: true}, []float64{0.1, 0.2, 0.3, 0.5, 0.75, 1.0}, 5, seed)
+	report.SamplingCurve(w, analysis.Dims{Chip: true}, pts)
+	fmt.Fprintln(w, "\n## Extension: leave-one-out prediction (Section IX future work)")
+	fmt.Fprintln(w)
+	for _, dim := range []analysis.LOODimension{analysis.LOOApp, analysis.LOOInput, analysis.LOOChip} {
+		report.CrossValidation(w, dim.String(), s.CrossValidate(dim))
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func parseDims(name string) (analysis.Dims, error) {
+	for _, d := range analysis.AllDims() {
+		if d.Name() == name {
+			return d, nil
+		}
+	}
+	return analysis.Dims{}, fmt.Errorf("unknown specialisation %q (try global, chip, app, input, chip_app, ...)", name)
+}
+
+func loadOrCollect(inFile, outFile string, seed uint64, runs int, verbose bool) (*study.Study, error) {
+	if inFile != "" {
+		f, err := os.Open(inFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		d, err := dataset.ReadCSV(f)
+		if err != nil {
+			return nil, err
+		}
+		return study.FromDataset(d), nil
+	}
+	opts := measure.Options{Seed: seed, Runs: runs}
+	if verbose {
+		opts.Progress = os.Stderr
+	}
+	s, err := study.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if err := s.Dataset().WriteCSV(f); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func printAll(w io.Writer, s *study.Study) error {
+	d := s.Dataset()
+	report.TuplesSummary(w, d)
+	fmt.Fprintln(w)
+	report.Chips(w, chip.All())
+	fmt.Fprintln(w)
+	report.Extremes(w, s.Extremes())
+	fmt.Fprintf(w, "max oracle geomean speedup over baseline: %.2fx\n\n", analysis.MaxOracleGeoMean(d))
+
+	printTable3(w, s)
+	fmt.Fprintln(w)
+	printTable4(w, s)
+	fmt.Fprintln(w)
+
+	report.Strategies(w)
+	fmt.Fprintln(w)
+	report.OptSummary(w)
+	fmt.Fprintln(w)
+	report.Apps(w, apps.All())
+	fmt.Fprintln(w)
+	printInputs(w)
+	fmt.Fprintln(w)
+
+	report.ChipRecommendations(w, s.PerChip())
+	fmt.Fprintln(w)
+	printTableX(w)
+	fmt.Fprintln(w)
+
+	report.Heatmap(w, s.Heatmap())
+	fmt.Fprintln(w)
+	report.FlagFrequencies(w, analysis.TopSpeedupOpts(d))
+	fmt.Fprintln(w)
+
+	evals, excluded := s.Evaluations()
+	report.StrategyOutcomes(w, evals, excluded)
+	fmt.Fprintln(w)
+	report.StrategySlowdowns(w, evals)
+	fmt.Fprintln(w)
+	printFigure5(w)
+	return nil
+}
+
+func globalConfig(s *study.Study) analysis.ConfigRank {
+	cfg := s.Global().Strategy.Config(dataset.Tuple{})
+	for _, r := range s.Ranks() {
+		if r.Config == cfg {
+			return r
+		}
+	}
+	// The global recommendation can be the baseline; report rank -1.
+	return analysis.ConfigRank{Rank: -1, Config: cfg}
+}
+
+func printTable3(w io.Writer, s *study.Study) {
+	report.ConfigRanks(w, s.Ranks(), globalConfig(s), len(s.Dataset().Tuples()))
+}
+
+func printTable4(w io.Writer, s *study.Study) {
+	d := s.Dataset()
+	maxGeo := analysis.MaxGeoMeanConfig(s.Ranks())
+	ours := globalConfig(s)
+	report.ChipCounts(w,
+		maxGeo.Config, analysis.PerChipCounts(d, maxGeo.Config),
+		ours.Config, analysis.PerChipCounts(d, ours.Config))
+}
+
+func printTable(w io.Writer, n int, loader func() (*study.Study, error)) error {
+	switch n {
+	case 1:
+		report.Chips(w, chip.All())
+		return nil
+	case 5:
+		report.Strategies(w)
+		return nil
+	case 6:
+		report.OptSummary(w)
+		return nil
+	case 7:
+		report.Apps(w, apps.All())
+		return nil
+	case 8:
+		printInputs(w)
+		return nil
+	case 10:
+		printTableX(w)
+		return nil
+	}
+	s, err := loader()
+	if err != nil {
+		return err
+	}
+	switch n {
+	case 2:
+		report.Extremes(w, s.Extremes())
+	case 3:
+		printTable3(w, s)
+	case 4:
+		printTable4(w, s)
+	case 9:
+		report.ChipRecommendations(w, s.PerChip())
+	default:
+		return fmt.Errorf("no table %d (valid: 1-10)", n)
+	}
+	return nil
+}
+
+func printFigure(w io.Writer, n int, loader func() (*study.Study, error)) error {
+	if n == 5 {
+		printFigure5(w)
+		return nil
+	}
+	s, err := loader()
+	if err != nil {
+		return err
+	}
+	switch n {
+	case 1:
+		report.Heatmap(w, s.Heatmap())
+	case 2:
+		report.FlagFrequencies(w, analysis.TopSpeedupOpts(s.Dataset()))
+	case 3:
+		evals, excluded := s.Evaluations()
+		report.StrategyOutcomes(w, evals, excluded)
+	case 4:
+		evals, _ := s.Evaluations()
+		report.StrategySlowdowns(w, evals)
+	default:
+		return fmt.Errorf("no figure %d (valid: 1-5)", n)
+	}
+	return nil
+}
+
+func printDecisions(w io.Writer, spec *analysis.Specialisation) {
+	for _, p := range spec.Partitions {
+		fmt.Fprintf(w, "partition %s -> %s\n", p.Key, p.Config)
+		for _, dec := range p.Decisions {
+			fmt.Fprintf(w, "  %-8s enabled=%-5v confident=%-5v p=%.4f CL=%.2f median=%.3f comparisons=%d\n",
+				dec.Flag, dec.Enabled, dec.Confident, dec.P, dec.CL, dec.MedianRatio, dec.Comparisons)
+		}
+	}
+}
+
+func printInputs(w io.Writer) {
+	var props []graph.Properties
+	for _, g := range graph.StandardInputs() {
+		props = append(props, graph.Analyze(g))
+	}
+	report.Inputs(w, props)
+}
+
+func printTableX(w io.Writer) {
+	sgcmb, mdivg := microbench.TableX(chip.All())
+	t := report.NewTable("Table X: microbenchmark speedups per chip", "Bench", "M4000", "GTX1080", "HD5500", "IRIS", "R9", "MALI").
+		RightAlign(1, 2, 3, 4, 5, 6)
+	row := func(name string, sp []microbench.Speedup) {
+		cells := []any{name}
+		for _, s := range sp {
+			cells = append(cells, report.F(s.Factor, 2))
+		}
+		t.Row(cells...)
+	}
+	row("sg-cmb", sgcmb)
+	row("m-divg", mdivg)
+	t.Render(w)
+}
+
+func printFigure5(w io.Writer) {
+	sweep := microbench.Figure5Sweep()
+	t := report.NewTable("Figure 5: GPU utilisation vs kernel duration (10000 launches + copies)",
+		"Kernel (us)", "M4000", "GTX1080", "HD5500", "IRIS", "R9", "MALI").
+		RightAlign(0, 1, 2, 3, 4, 5, 6)
+	chips := chip.All()
+	series := make([][]microbench.UtilisationPoint, len(chips))
+	for i, ch := range chips {
+		series[i] = microbench.LaunchOverhead(ch, sweep)
+	}
+	for pi, t0 := range sweep {
+		cells := []any{report.F(t0/1000, 0)}
+		for ci := range chips {
+			cells = append(cells, report.F(series[ci][pi].Utilisation*100, 0)+"%")
+		}
+		t.Row(cells...)
+	}
+	t.Render(w)
+}

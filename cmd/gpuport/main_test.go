@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The dataset-generating commands share one CSV written once, so the
+// test binary pays the full sweep a single time.
+var (
+	csvOnce sync.Once
+	csvPath string
+	csvErr  error
+)
+
+func sharedCSV(t *testing.T) string {
+	t.Helper()
+	csvOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "gpuport-test")
+		if err != nil {
+			csvErr = err
+			return
+		}
+		csvPath = filepath.Join(dir, "study.csv")
+		var buf bytes.Buffer
+		csvErr = run([]string{"-out", csvPath, "dataset"}, &buf)
+	})
+	if csvErr != nil {
+		t.Fatal(csvErr)
+	}
+	return csvPath
+}
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return buf.String()
+}
+
+func TestStaticTables(t *testing.T) {
+	cases := map[string]string{
+		"1":  "Table I",
+		"5":  "Table V",
+		"6":  "Table VI",
+		"7":  "Table VII",
+		"8":  "Table VIII",
+		"10": "Table X",
+	}
+	for n, want := range cases {
+		out := runCLI(t, "table", n)
+		if !strings.Contains(out, want) {
+			t.Errorf("table %s output missing %q", n, want)
+		}
+	}
+}
+
+func TestDataTablesFromCSV(t *testing.T) {
+	csv := sharedCSV(t)
+	for _, n := range []string{"2", "3", "4", "9"} {
+		out := runCLI(t, "-in", csv, "table", n)
+		if !strings.Contains(out, "Table") {
+			t.Errorf("table %s produced no table", n)
+		}
+	}
+}
+
+func TestFiguresFromCSV(t *testing.T) {
+	csv := sharedCSV(t)
+	for _, n := range []string{"1", "2", "3", "4"} {
+		out := runCLI(t, "-in", csv, "figure", n)
+		if !strings.Contains(out, "Figure") {
+			t.Errorf("figure %s produced no figure", n)
+		}
+	}
+	out := runCLI(t, "figure", "5")
+	if !strings.Contains(out, "Figure 5") {
+		t.Error("figure 5 missing")
+	}
+}
+
+func TestMicroAndInputs(t *testing.T) {
+	out := runCLI(t, "micro")
+	if !strings.Contains(out, "sg-cmb") || !strings.Contains(out, "m-divg") {
+		t.Error("micro output incomplete")
+	}
+	out = runCLI(t, "inputs")
+	if !strings.Contains(out, "usa.ny") || !strings.Contains(out, "soc-pokec") {
+		t.Error("inputs output incomplete")
+	}
+}
+
+func TestDecisionsCommand(t *testing.T) {
+	csv := sharedCSV(t)
+	out := runCLI(t, "-in", csv, "decisions", "chip")
+	if !strings.Contains(out, "partition (M4000,*,*)") {
+		t.Errorf("decisions output:\n%s", out[:min(300, len(out))])
+	}
+	if !strings.Contains(out, "median=") || !strings.Contains(out, "CL=") {
+		t.Error("decisions output missing statistics")
+	}
+}
+
+func TestSamplingCommand(t *testing.T) {
+	csv := sharedCSV(t)
+	out := runCLI(t, "-in", csv, "sampling", "global")
+	if !strings.Contains(out, "Sampling sufficiency") || !strings.Contains(out, "100%") {
+		t.Errorf("sampling output:\n%s", out)
+	}
+}
+
+func TestPredictCommand(t *testing.T) {
+	csv := sharedCSV(t)
+	out := runCLI(t, "-in", csv, "predict", "input")
+	if !strings.Contains(out, "Leave-one-input-out") || !strings.Contains(out, "usa.ny") {
+		t.Errorf("predict output:\n%s", out)
+	}
+}
+
+func TestReportCommand(t *testing.T) {
+	csv := sharedCSV(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.md")
+	out := runCLI(t, "-in", csv, "-out", path, "report")
+	if !strings.Contains(out, "report written") {
+		t.Fatalf("output: %q", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := string(data)
+	for _, want := range []string{"# gpuport study report", "**Table IX", "sampling sufficiency", "Leave-one-chip-out"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"table"},
+		{"table", "zz"},
+		{"table", "99"},
+		{"figure"},
+		{"figure", "0"},
+		{"bogus"},
+		{"decisions", "sideways"},
+		{"sampling", "sideways"},
+		{"predict", "sideways"},
+		{"-in", "/nonexistent/file.csv", "table", "2"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestDatasetCommandHint(t *testing.T) {
+	csv := sharedCSV(t)
+	out := runCLI(t, "-in", csv, "dataset")
+	if !strings.Contains(out, "dataset: 6 chips x 17 apps x 3 inputs") {
+		t.Errorf("dataset summary missing: %q", out)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

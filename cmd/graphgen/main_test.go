@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gpuport/internal/graph"
+)
+
+func TestGenerateAllKinds(t *testing.T) {
+	for _, kind := range []string{"road", "social", "random"} {
+		var buf bytes.Buffer
+		args := []string{"-kind", kind, "-seed", "3"}
+		switch kind {
+		case "road":
+			args = append(args, "-side", "20")
+		case "social":
+			args = append(args, "-scale", "8")
+		case "random":
+			args = append(args, "-nodes", "500")
+		}
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !strings.Contains(buf.String(), "Table VIII") {
+			t.Errorf("%s: properties not printed", kind)
+		}
+	}
+}
+
+func TestWriteFormats(t *testing.T) {
+	dir := t.TempDir()
+	binPath := filepath.Join(dir, "g.bin")
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "random", "-nodes", "200", "-degree", "3",
+		"-format", "binary", "-out", binPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := graph.ReadBinary(f)
+	if err != nil {
+		t.Fatalf("written binary unreadable: %v", err)
+	}
+	if g.NumNodes() != 200 {
+		t.Errorf("nodes = %d", g.NumNodes())
+	}
+
+	txtPath := filepath.Join(dir, "g.txt")
+	if err := run([]string{"-kind", "road", "-side", "10", "-out", txtPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(txtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "# road road") {
+		t.Errorf("edge list header: %q", string(data[:30]))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-kind", "torus"},
+		{"-kind", "road", "-side", "5", "-out", "/nonexistent-dir/x", "-format", "edgelist"},
+		{"-kind", "road", "-side", "5", "-out", "x", "-format", "yaml"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

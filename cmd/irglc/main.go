@@ -1,0 +1,127 @@
+// Command irglc drives the DSL compiler: it compiles an IrGL-like
+// program (a shipped sample or a user file) and either emits the
+// OpenCL translation for a chosen optimisation configuration, or
+// executes the program on a graph input through the instrumented
+// runtime and reports the result.
+//
+// Usage:
+//
+//	irglc -program bfs -emit -config sg,fg8,oitergb
+//	irglc -program sssp -run -input usa.ny
+//	irglc -src my.irgl -emit
+//	irglc -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"gpuport/internal/graph"
+	"gpuport/internal/irglc"
+	"gpuport/internal/opt"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "irglc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("irglc", flag.ContinueOnError)
+	progName := fs.String("program", "bfs", "shipped sample to compile (see -list)")
+	srcFile := fs.String("src", "", "compile a DSL source file instead of a sample")
+	cfgStr := fs.String("config", "baseline", "optimisation configuration for -emit")
+	emit := fs.Bool("emit", false, "emit OpenCL for the configuration")
+	runIt := fs.Bool("run", false, "execute the program on -input")
+	inputName := fs.String("input", "rand-8k", "graph input for -run")
+	list := fs.Bool("list", false, "list shipped sample programs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		var names []string
+		for name := range irglc.Samples() {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintln(w, n)
+		}
+		return nil
+	}
+
+	var src string
+	if *srcFile != "" {
+		data, err := os.ReadFile(*srcFile)
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	} else {
+		s, ok := irglc.Samples()[*progName]
+		if !ok {
+			return fmt.Errorf("unknown sample %q (use -list)", *progName)
+		}
+		src = s
+	}
+
+	exe, err := irglc.Compile(src)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "compiled program %q: %d node arrays, %d kernels\n",
+		exe.Program().Name, len(exe.Program().Nodes), len(exe.Program().Kernels))
+
+	if *emit {
+		cfg, err := opt.Parse(*cfgStr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		fmt.Fprint(w, irglc.GenerateOpenCL(exe.Program(), cfg))
+	}
+
+	if *runIt {
+		g, err := graph.InputByName(*inputName)
+		if err != nil {
+			return err
+		}
+		trace, arrays, err := exe.Run(g)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nran on %s: %d launches, %d host loops, %d edge work\n",
+			g.Name, trace.TotalLaunches(), len(trace.Loops), trace.TotalEdgeWork())
+		var names []string
+		for name := range arrays {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			arr := arrays[name]
+			// Print a tiny digest of the result array.
+			var minV, maxV int32 = 1<<31 - 1, -(1 << 31)
+			reached := 0
+			for _, v := range arr {
+				if int64(v) != irglc.Infinity {
+					reached++
+				}
+				if v < minV {
+					minV = v
+				}
+				if v > maxV {
+					maxV = v
+				}
+			}
+			fmt.Fprintf(w, "  %s: %d entries, min %d, max %d, %d below INF\n",
+				name, len(arr), minV, maxV, reached)
+		}
+	}
+	return nil
+}

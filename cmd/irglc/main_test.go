@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return buf.String()
+}
+
+func TestList(t *testing.T) {
+	out := runCLI(t, "-list")
+	for _, want := range []string{"bfs", "cc", "sssp"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q: %q", want, out)
+		}
+	}
+}
+
+func TestEmit(t *testing.T) {
+	out := runCLI(t, "-program", "bfs", "-emit", "-config", "coop-cv,sg,fg8,oitergb")
+	for _, want := range []string{
+		"compiled program \"bfs\"",
+		"__kernel void relax(",
+		"coop_push",
+		"sub_group_barrier",
+		"FG_CHUNK 8",
+		"__global_barrier",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("emit missing %q", want)
+		}
+	}
+}
+
+func TestRunSample(t *testing.T) {
+	out := runCLI(t, "-program", "sssp", "-run", "-input", "rand-8k")
+	if !strings.Contains(out, "ran on rand-8k") || !strings.Contains(out, "dist:") {
+		t.Errorf("run output: %q", out)
+	}
+}
+
+func TestSrcFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.irgl")
+	src := `program tiny
+node x: int
+host { forall u in nodes { x[u] = degree(u) } }
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCLI(t, "-src", path, "-run", "-input", "rand-8k")
+	if !strings.Contains(out, `compiled program "tiny"`) {
+		t.Errorf("output: %q", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-program", "nope"},
+		{"-src", "/nonexistent.irgl"},
+		{"-program", "bfs", "-emit", "-config", "fg,fg8"},
+		{"-program", "bfs", "-run", "-input", "nope"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Chip insights: reproduce Section VIII of the paper - dissecting
+// chip-specialised optimisation choices and explaining them with
+// microbenchmarks.
+//
+// The example runs the full study, prints the per-chip recommendation
+// table (Table IX), then uses the three microbenchmarks to explain the
+// three findings the paper highlights:
+//
+//  1. why the Nvidia chips do not enable oitergb (kernel launches are
+//     too cheap for outlining to pay) - Figure 5;
+//  2. why only R9 and IRIS enable coop-cv (their JITs do not combine
+//     subgroup atomics and their RMW units are slow) - sg-cmb;
+//  3. why MALI enables sg despite having no physical subgroups (the
+//     gratuitous barrier tames intra-workgroup memory divergence) -
+//     m-divg.
+//
+// Run with: go run ./examples/chipinsights
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gpuport"
+	"gpuport/internal/chip"
+	"gpuport/internal/opt"
+	"gpuport/internal/report"
+)
+
+func main() {
+	s, err := gpuport.DefaultStudy()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec := s.PerChip()
+	report.ChipRecommendations(os.Stdout, spec)
+
+	// Finding 1: oitergb and launch overhead.
+	fmt.Println("\n-- Finding 1: kernel launch overhead (Figure 5) --")
+	fmt.Println("utilisation with 10us kernels (10000 launches + copies):")
+	enabled := map[string]bool{}
+	for _, p := range spec.Partitions {
+		for _, dec := range p.Decisions {
+			if dec.Flag == opt.FlagOiterGB {
+				enabled[p.Key.Chip] = dec.Enabled
+			}
+		}
+	}
+	for _, ch := range gpuport.Chips() {
+		pts := gpuport.LaunchOverhead(ch, []float64{10000})
+		mark := "oitergb not recommended"
+		if enabled[ch.Name] {
+			mark = "oitergb recommended"
+		}
+		fmt.Printf("  %-8s %5.1f%% utilisation -> %s\n", ch.Name, pts[0].Utilisation*100, mark)
+	}
+	fmt.Println("the chips that keep high utilisation without help are exactly the ones")
+	fmt.Println("that skip iteration outlining.")
+
+	// Finding 2: coop-cv and atomic combining.
+	fmt.Println("\n-- Finding 2: subgroup atomic combining (Table X, sg-cmb) --")
+	sgcmb, mdivg := gpuport.TableX(gpuport.Chips())
+	for _, sp := range sgcmb {
+		ch, _ := chip.ByName(sp.Chip)
+		why := "JIT already combines"
+		if !ch.JITCombinesAtomics {
+			why = "no JIT combining"
+			if ch.SubgroupSize == 1 {
+				why = "no subgroups to combine over"
+			}
+		}
+		fmt.Printf("  %-8s manual combining speedup %6.2fx (%s)\n", sp.Chip, sp.Factor, why)
+	}
+
+	// Finding 3: MALI and memory divergence.
+	fmt.Println("\n-- Finding 3: intra-workgroup memory divergence (Table X, m-divg) --")
+	for _, sp := range mdivg {
+		fmt.Printf("  %-8s gratuitous barrier speedup %5.2fx\n", sp.Chip, sp.Factor)
+	}
+	fmt.Println("every chip benefits mildly from keeping the workgroup in step; MALI's")
+	fmt.Println("tiny caches make it pathological, which is why its strategy enables sg")
+	fmt.Println("even though its subgroups are trivial.")
+}

@@ -1,0 +1,84 @@
+// Future work: run the two experiments Section IX of the paper sketches
+// but does not evaluate.
+//
+//  1. Sampling sufficiency - the paper used exhaustive data (every
+//     configuration on every test); how much of the domain must be
+//     measured before the recommendations stabilise?
+//  2. Prediction - the paper's models are descriptive; how well does a
+//     strategy derived *without* a given application / input / chip
+//     perform when that environment shows up later?
+//
+// Run with: go run ./examples/futurework
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gpuport"
+	"gpuport/internal/analysis"
+	"gpuport/internal/report"
+)
+
+func main() {
+	s, err := gpuport.DefaultStudy()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Experiment 1: subsample the 306 tests at increasing rates and
+	// measure how much of the full-data chip recommendation survives.
+	fmt.Println("== Experiment 1: how much measurement is enough? ==")
+	fractions := []float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0}
+	pts := s.SamplingCurve(gpuport.Dims{Chip: true}, fractions, 8, 2026)
+	report.SamplingCurve(os.Stdout, gpuport.Dims{Chip: true}, pts)
+	for _, p := range pts {
+		if p.MeanAgreement >= 0.95 {
+			fmt.Printf("-> measuring ~%.0f%% of the domain already reproduces 95%%+ of the\n"+
+				"   full-data recommendations; exhaustive sweeps are mostly confirmation.\n\n",
+				p.Fraction*100)
+			break
+		}
+	}
+
+	// Experiment 2: leave-one-out prediction across all three
+	// dimensions. The gap to the oracle is the price of never having
+	// seen the held-out environment.
+	fmt.Println("== Experiment 2: predicting unseen environments ==")
+	type dimScore struct {
+		name  string
+		worst analysis.LOOResult
+		mean  float64
+	}
+	var scores []dimScore
+	for _, dim := range []analysis.LOODimension{analysis.LOOApp, analysis.LOOInput, analysis.LOOChip} {
+		results := s.CrossValidate(dim)
+		report.CrossValidation(os.Stdout, dim.String(), results)
+		worst := results[0]
+		sum := 0.0
+		for _, r := range results {
+			sum += r.Eval.GeoMeanSlowdownVsOracle
+			if r.Eval.GeoMeanSlowdownVsOracle > worst.Eval.GeoMeanSlowdownVsOracle {
+				worst = r
+			}
+		}
+		scores = append(scores, dimScore{dim.String(), worst, sum / float64(len(results))})
+		fmt.Printf("-> hardest to predict: %s (%.2fx behind its oracle)\n\n",
+			worst.Held, worst.Eval.GeoMeanSlowdownVsOracle)
+	}
+	fmt.Println("average gap to the oracle when the environment was never seen:")
+	hardest := scores[0]
+	for _, sc := range scores {
+		fmt.Printf("  unseen %-6s %.3fx (worst single case: %s, %.2fx)\n",
+			sc.name, sc.mean, sc.worst.Held, sc.worst.Eval.GeoMeanSlowdownVsOracle)
+		if sc.mean > hardest.mean {
+			hardest = sc
+		}
+	}
+	fmt.Printf("\nleast transferable dimension on this dataset: %s.\n", hardest.name)
+	fmt.Println("(inputs and chips trade places depending on the domain - the paper's")
+	fmt.Println("related work notes input effects can swamp platform tuning, while its")
+	fmt.Println("own headline result is that chips are an independent dimension; the")
+	fmt.Println("leave-one-out gaps quantify both.)")
+}

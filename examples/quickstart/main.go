@@ -1,0 +1,83 @@
+// Quickstart: collect a small study and derive a portable optimisation
+// strategy for it.
+//
+// This example restricts the sweep to two chips, three applications and
+// one input so it finishes in well under a second, then runs the
+// paper's rank-based analysis (Algorithm 1) on the collected data and
+// prints the flag decisions with their statistics.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpuport"
+	"gpuport/internal/apps"
+	"gpuport/internal/graph"
+)
+
+func main() {
+	// 1. Pick a slice of the study space.
+	chips := gpuport.Chips()[:2] // M4000 and GTX1080
+	var selected []gpuport.App
+	for _, name := range []string{"bfs-wl", "sssp-nf", "pr-residual"} {
+		app, err := apps.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		selected = append(selected, app)
+	}
+	input := graph.GenerateRoad("mini-road", 60, 7)
+
+	// 2. Collect the dataset: every (chip, app, input, configuration)
+	// cell is timed three times by the performance model.
+	s, err := gpuport.NewStudy(gpuport.Options{
+		Seed:   1,
+		Runs:   3,
+		Chips:  chips,
+		Apps:   selected,
+		Inputs: []*gpuport.Graph{input},
+		// Validate every application against its reference while
+		// tracing - the harness refuses to time wrong answers.
+		Validate: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collected %d records over %d tests\n\n",
+		s.Dataset().Len(), len(s.Dataset().Tuples()))
+
+	// 3. Derive the fully-portable strategy and inspect the decisions.
+	global := s.Global()
+	fmt.Println("portable (global) recommendation:", global.Strategy.Config(gpuport.Tuple{}))
+	for _, dec := range global.Partitions[0].Decisions {
+		verdict := "off"
+		if dec.Enabled {
+			verdict = "ON"
+		}
+		if !dec.Confident {
+			verdict = "undecided"
+		}
+		fmt.Printf("  %-8s %-9s  p=%.3f  effect-size=%.2f  median-ratio=%.3f  (%d significant pairs)\n",
+			dec.Flag, verdict, dec.P, dec.CL, dec.MedianRatio, dec.Comparisons)
+	}
+
+	// 4. Compare against per-chip specialisation.
+	fmt.Println("\nper-chip recommendations:")
+	for _, p := range s.PerChip().Partitions {
+		fmt.Printf("  %-8s -> %s\n", p.Key.Chip, p.Config)
+	}
+
+	// 5. How much performance does portability cost here?
+	evals, excluded := s.Evaluations()
+	fmt.Printf("\nstrategy scores (%d non-improvable tests excluded):\n", excluded)
+	for _, e := range evals {
+		switch e.Name {
+		case "baseline", "global", "chip", "oracle":
+			fmt.Printf("  %-8s  %.2fx vs baseline, %.2fx behind oracle, %d/%d tests sped up\n",
+				e.Name, e.GeoMeanVsBaseline, e.GeoMeanSlowdownVsOracle, e.Speedups, e.Tests())
+		}
+	}
+}

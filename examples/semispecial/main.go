@@ -1,0 +1,69 @@
+// Semi-specialisation: reproduce Section VII of the paper - quantify
+// the performance trade-off as portability is exchanged for
+// specialisation over the three dimensions (chip, application, input).
+//
+// Run with: go run ./examples/semispecial
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"gpuport"
+	"gpuport/internal/report"
+)
+
+func main() {
+	s, err := gpuport.DefaultStudy()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	evals, excluded := s.Evaluations()
+	report.StrategyOutcomes(os.Stdout, evals, excluded)
+	fmt.Println()
+	report.StrategySlowdowns(os.Stdout, evals)
+
+	// Rank the eight real specialisations by how close they come to
+	// the oracle.
+	type row struct {
+		name string
+		vs   float64
+		dims int
+	}
+	var rows []row
+	for _, e := range evals {
+		if e.Name == "baseline" || e.Name == "oracle" {
+			continue
+		}
+		dims := 0
+		for _, d := range gpuport.AllDims() {
+			if d.Name() == e.Name {
+				dims = d.Count()
+			}
+		}
+		rows = append(rows, row{e.Name, e.GeoMeanSlowdownVsOracle, dims})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].vs < rows[j].vs })
+
+	fmt.Println("\nspecialisations ranked by closeness to the oracle:")
+	for i, r := range rows {
+		fmt.Printf("  %d. %-15s %.3fx behind oracle (%d dimension(s) specialised)\n",
+			i+1, r.name, r.vs, r.dims)
+	}
+
+	// The paper's headline: how much do you lose by shipping one
+	// portable configuration instead of autotuning everything?
+	byName := map[string]gpuport.StrategyEval{}
+	for _, e := range evals {
+		byName[e.Name] = e
+	}
+	fmt.Printf("\nfully portable vs never optimising:   %.2fx better\n",
+		byName["global"].GeoMeanVsBaseline)
+	fmt.Printf("fully portable vs full specialisation: %.2fx left on the table\n",
+		byName["global"].GeoMeanSlowdownVsOracle/byName["chip_app_input"].GeoMeanSlowdownVsOracle)
+	fmt.Printf("oracle headroom over baseline:         %.2fx\n",
+		byName["oracle"].GeoMeanVsBaseline)
+}

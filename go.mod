@@ -1,0 +1,3 @@
+module gpuport
+
+go 1.22

@@ -1,0 +1,133 @@
+// Package gpuport reproduces "One Size Doesn't Fit All: Quantifying
+// Performance Portability of Graph Applications on GPUs" (IISWC 2019)
+// as a self-contained Go library.
+//
+// The library has three layers:
+//
+//  1. A workload substrate: graph generators (internal/graph), 17 graph
+//     applications over an IrGL-like operator IR (internal/apps,
+//     internal/irgl), and a deterministic GPU performance model for six
+//     chips across four vendors (internal/chip, internal/cost,
+//     internal/ocl).
+//  2. An experiment harness that sweeps 6 chips x 17 applications x 3
+//     inputs x 96 optimisation configurations x 3 timed runs into a
+//     dataset (internal/measure, internal/dataset).
+//  3. The paper's contribution: a magnitude-agnostic, rank-based
+//     analysis (Mann-Whitney U over significance-gated mirror-pair
+//     comparisons) that derives optimisation strategies at every degree
+//     of specialisation between fully portable and per-test oracle
+//     (internal/analysis), plus the microbenchmarks that explain the
+//     per-chip recommendations (internal/microbench).
+//
+// This root package is the public facade: it re-exports the types and
+// entry points a downstream user needs, so examples and external tools
+// can depend on a single import path.
+package gpuport
+
+import (
+	"io"
+
+	"gpuport/internal/analysis"
+	"gpuport/internal/apps"
+	"gpuport/internal/chip"
+	"gpuport/internal/dataset"
+	"gpuport/internal/graph"
+	"gpuport/internal/irglc"
+	"gpuport/internal/measure"
+	"gpuport/internal/microbench"
+	"gpuport/internal/opt"
+	"gpuport/internal/study"
+)
+
+// Re-exported core types. The aliases point at internal packages; the
+// methods of these types are part of the public API.
+type (
+	// Study is a collected dataset plus cached analysis results.
+	Study = study.Study
+	// Options configures dataset collection.
+	Options = measure.Options
+	// Dataset is the raw measurement collection.
+	Dataset = dataset.Dataset
+	// Tuple identifies one (chip, application, input) test.
+	Tuple = dataset.Tuple
+	// Config is one optimisation configuration.
+	Config = opt.Config
+	// Flag is one binary optimisation as the analysis sees it.
+	Flag = opt.Flag
+	// Dims selects the dimensions a strategy specialises on.
+	Dims = analysis.Dims
+	// Strategy maps tuples to configurations.
+	Strategy = analysis.Strategy
+	// Specialisation is a full Algorithm 1 run at one degree of
+	// specialisation.
+	Specialisation = analysis.Specialisation
+	// FlagDecision is one Table IX cell: a per-flag recommendation
+	// with its MWU statistics.
+	FlagDecision = analysis.FlagDecision
+	// StrategyEval scores a strategy over the test set (Figures 3-4).
+	StrategyEval = analysis.StrategyEval
+	// Heatmap is the Figure 1 cross-chip portability matrix.
+	Heatmap = analysis.Heatmap
+	// Chip is one GPU platform model.
+	Chip = chip.Chip
+	// App is one graph application.
+	App = apps.App
+	// Graph is a CSR graph input.
+	Graph = graph.Graph
+)
+
+// NewStudy collects a dataset with the given options and prepares it
+// for analysis. With the zero Options it runs the full standard study.
+func NewStudy(o Options) (*Study, error) { return study.New(o) }
+
+// DefaultStudy runs the standard full study (seed 42, 3 runs per cell).
+func DefaultStudy() (*Study, error) { return study.Default() }
+
+// StudyFromDataset wraps a dataset loaded from elsewhere (e.g. CSV).
+func StudyFromDataset(d *Dataset) *Study { return study.FromDataset(d) }
+
+// ReadDatasetCSV loads a dataset written by Dataset.WriteCSV.
+func ReadDatasetCSV(r io.Reader) (*Dataset, error) { return dataset.ReadCSV(r) }
+
+// Chips returns the six GPU models of the study (Table I).
+func Chips() []Chip { return chip.All() }
+
+// Applications returns the seventeen graph applications (Table VII).
+func Applications() []App { return apps.All() }
+
+// StandardInputs returns the three standard graph inputs (Table VIII).
+func StandardInputs() []*Graph { return graph.StandardInputs() }
+
+// Configurations returns all 96 optimisation configurations.
+func Configurations() []Config { return opt.All() }
+
+// AllDims returns the eight specialisation combinations of Table V.
+func AllDims() []Dims { return analysis.AllDims() }
+
+// RankConfigs ranks every configuration globally by harm (Table III).
+func RankConfigs(d *Dataset) []analysis.ConfigRank { return analysis.RankConfigs(d) }
+
+// TableX runs the sg-cmb and m-divg microbenchmarks on the given chips.
+func TableX(chips []Chip) (sgcmb, mdivg []microbench.Speedup) {
+	return microbench.TableX(chips)
+}
+
+// LaunchOverhead sweeps the Figure 5 utilisation microbenchmark.
+func LaunchOverhead(ch Chip, kernelNS []float64) []microbench.UtilisationPoint {
+	return microbench.LaunchOverhead(ch, kernelNS)
+}
+
+// DSLProgram is a compiled IrGL-like DSL program (see internal/irglc).
+type DSLProgram = irglc.Executable
+
+// CompileDSL parses and checks an IrGL-like DSL program.
+func CompileDSL(src string) (*DSLProgram, error) { return irglc.Compile(src) }
+
+// DSLSamples returns the shipped DSL programs (bfs, sssp, cc).
+func DSLSamples() map[string]string { return irglc.Samples() }
+
+// GenerateOpenCL emits the OpenCL C translation of a compiled DSL
+// program under one optimisation configuration.
+func GenerateOpenCL(p *DSLProgram, cfg Config) string {
+	return irglc.GenerateOpenCL(p.Program(), cfg)
+}

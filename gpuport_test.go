@@ -1,0 +1,84 @@
+package gpuport
+
+// Tests of the public facade: everything a downstream user touches
+// through the root import path.
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRegistries(t *testing.T) {
+	if got := len(Chips()); got != 6 {
+		t.Errorf("Chips() = %d, want 6", got)
+	}
+	if got := len(Applications()); got != 17 {
+		t.Errorf("Applications() = %d, want 17", got)
+	}
+	if got := len(StandardInputs()); got != 3 {
+		t.Errorf("StandardInputs() = %d, want 3", got)
+	}
+	if got := len(Configurations()); got != 96 {
+		t.Errorf("Configurations() = %d, want 96", got)
+	}
+	if got := len(AllDims()); got != 8 {
+		t.Errorf("AllDims() = %d, want 8", got)
+	}
+}
+
+func TestPublicStudyFlow(t *testing.T) {
+	// A restricted end-to-end pass through the public API only.
+	s, err := NewStudy(Options{
+		Seed:   3,
+		Runs:   3,
+		Chips:  Chips()[4:6], // R9 and MALI
+		Apps:   Applications()[:2],
+		Inputs: StandardInputs()[2:3], // rand-8k
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dataset().Len() != 2*2*1*96 {
+		t.Fatalf("records = %d", s.Dataset().Len())
+	}
+
+	global := s.Global()
+	if global.Strategy.Name != "global" {
+		t.Errorf("strategy name %q", global.Strategy.Name)
+	}
+	ranks := RankConfigs(s.Dataset())
+	if len(ranks) != 95 {
+		t.Errorf("ranks = %d", len(ranks))
+	}
+	evals, _ := s.Evaluations()
+	if len(evals) != 10 {
+		t.Errorf("evals = %d", len(evals))
+	}
+
+	// CSV round trip through the facade.
+	var buf bytes.Buffer
+	if err := s.Dataset().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadDatasetCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := StudyFromDataset(d2)
+	for _, tp := range s.Dataset().Tuples() {
+		if s2.Oracle().Config(tp) != s.Oracle().Config(tp) {
+			t.Errorf("oracle differs after CSV round trip on %v", tp)
+		}
+	}
+}
+
+func TestPublicMicrobenchmarks(t *testing.T) {
+	sgcmb, mdivg := TableX(Chips())
+	if len(sgcmb) != 6 || len(mdivg) != 6 {
+		t.Fatalf("TableX sizes %d/%d", len(sgcmb), len(mdivg))
+	}
+	pts := LaunchOverhead(Chips()[0], []float64{1000, 1000000})
+	if len(pts) != 2 || pts[0].Utilisation >= pts[1].Utilisation {
+		t.Errorf("utilisation sweep broken: %+v", pts)
+	}
+}

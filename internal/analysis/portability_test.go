@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"gpuport/internal/dataset"
+	"gpuport/internal/opt"
+)
+
+func TestCrossChipHeatmapStructure(t *testing.T) {
+	// sg helps only on chipA; wg helps only on chipB. Each chip's
+	// optimal settings hurt the other chip, so off-diagonal cells
+	// exceed 1 and the diagonal is exactly 1.
+	tuples := grid([]string{"chipA", "chipB"}, []string{"a1", "a2"}, []string{"i1", "i2"})
+	d := synthDataset(tuples, func(tp dataset.Tuple, f opt.Flag) float64 {
+		if f == opt.FlagSG {
+			if tp.Chip == "chipA" {
+				return 0.5
+			}
+			return 1.8
+		}
+		if f == opt.FlagWG {
+			if tp.Chip == "chipB" {
+				return 0.6
+			}
+			return 1.7
+		}
+		return 1.0
+	})
+	h := CrossChipHeatmap(d)
+	if len(h.Rows) != 2 || len(h.Cols) != 2 {
+		t.Fatalf("heatmap %dx%d", len(h.Rows), len(h.Cols))
+	}
+	for i := range h.Rows {
+		if math.Abs(h.Cell[i][i]-1) > 1e-9 {
+			t.Errorf("diagonal [%d][%d] = %v, want 1", i, i, h.Cell[i][i])
+		}
+		for j := range h.Cols {
+			if i != j && h.Cell[i][j] <= 1.2 {
+				t.Errorf("off-diagonal [%d][%d] = %v, want > 1.2", i, j, h.Cell[i][j])
+			}
+		}
+	}
+	for j := range h.Cols {
+		if h.ColMeanOffDiag[j] <= h.ColMean[j] {
+			t.Errorf("off-diagonal column mean should exceed the all-rows mean (diagonal is 1)")
+		}
+	}
+	for i := range h.Rows {
+		if h.RowMean[i] <= 1 {
+			t.Errorf("row mean %d = %v, want > 1", i, h.RowMean[i])
+		}
+	}
+}
+
+func TestExtremes(t *testing.T) {
+	tuples := grid([]string{"c"}, []string{"fastapp", "slowapp"}, []string{"i"})
+	d := synthDataset(tuples, func(tp dataset.Tuple, f opt.Flag) float64 {
+		if f == opt.FlagSG && tp.App == "fastapp" {
+			return 0.1 // 10x speedup available
+		}
+		if f == opt.FlagWG && tp.App == "slowapp" {
+			return 8.0 // 8x slowdown possible
+		}
+		return 1.0
+	})
+	ex := Extremes(d)
+	if len(ex) != 1 {
+		t.Fatalf("extremes = %d", len(ex))
+	}
+	e := ex[0]
+	if e.MaxSpeedup < 9 || e.SpeedupApp != "fastapp" || !e.SpeedupCfg.SG {
+		t.Errorf("speedup extreme %+v", e)
+	}
+	if e.MaxSlowdown < 7 || e.SlowdownApp != "slowapp" || !e.SlowdownCfg.WG {
+		t.Errorf("slowdown extreme %+v", e)
+	}
+}
+
+func TestMaxOracleGeoMean(t *testing.T) {
+	tuples := grid([]string{"c"}, []string{"a1", "a2"}, []string{"i"})
+	d := synthDataset(tuples, func(tp dataset.Tuple, f opt.Flag) float64 {
+		if f == opt.FlagSG {
+			return 0.25 // 4x speedup on every tuple
+		}
+		return 1.0
+	})
+	got := MaxOracleGeoMean(d)
+	if math.Abs(got-4) > 0.05 {
+		t.Errorf("oracle geomean = %v, want ~4", got)
+	}
+}
+
+func TestTopSpeedupOpts(t *testing.T) {
+	tuples := grid([]string{"c1", "c2"}, []string{"a1", "a2", "a3"}, []string{"i"})
+	d := synthDataset(tuples, func(tp dataset.Tuple, f opt.Flag) float64 {
+		if f == opt.FlagFG8 && tp.Chip == "c1" {
+			return 0.4
+		}
+		if f == opt.FlagOiterGB && tp.Chip == "c2" {
+			return 0.4
+		}
+		return 1.0
+	})
+	ffs := TopSpeedupOpts(d)
+	byChip := map[string]FlagFrequency{}
+	for _, ff := range ffs {
+		byChip[ff.Chip] = ff
+	}
+	// The flags carrying the real effect always appear in the optimal
+	// configurations; flags without effect may ride along by noise (the
+	// argmin over 96 near-tied configs picks them arbitrarily), so only
+	// the load-bearing counts are asserted.
+	c1 := byChip["c1"]
+	if c1.Tests != 3 || c1.Count[opt.FlagFG8] != 3 {
+		t.Errorf("c1 frequencies %+v", c1)
+	}
+	c2 := byChip["c2"]
+	if c2.Count[opt.FlagOiterGB] != 3 {
+		t.Errorf("c2 frequencies %+v", c2)
+	}
+}

@@ -1,0 +1,40 @@
+package analysis
+
+// Robustness utilities: the paper stresses that performance analysis
+// can be "confounded by chance effects" (Section I) and chose its
+// statistics accordingly. These helpers quantify how stable this
+// study's conclusions are when the measurement noise changes (different
+// seeds) or when the test domain shifts.
+
+import (
+	"gpuport/internal/opt"
+	"gpuport/internal/stats"
+)
+
+// AgreementBetween compares two specialisations partition by partition
+// and returns the fraction of reference (a) decisions that b
+// reproduces, plus the fraction of a's confident decisions b leaves
+// undecided. Partitions must be keyed identically (same dims over the
+// same dimension values).
+func AgreementBetween(a, b *Specialisation) (agree, undecided float64) {
+	return compareDecisions(decisionTable(a), b)
+}
+
+// RankCorrelation computes Kendall's tau-b between two Table III
+// rankings: for each configuration present in both, its rank positions
+// in a and b form a pair. Tau near 1 means the harm ordering of the
+// optimisation space is stable.
+func RankCorrelation(a, b []ConfigRank) float64 {
+	posB := make(map[opt.Config]int, len(b))
+	for _, r := range b {
+		posB[r.Config] = r.Rank
+	}
+	var xs, ys []float64
+	for _, r := range a {
+		if pb, ok := posB[r.Config]; ok {
+			xs = append(xs, float64(r.Rank))
+			ys = append(ys, float64(pb))
+		}
+	}
+	return stats.KendallTau(xs, ys)
+}

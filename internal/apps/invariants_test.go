@@ -1,0 +1,252 @@
+package apps
+
+// Algorithm-specific invariant tests, beyond the reference-equality
+// checks of apps_test.go: structural properties each answer must hold
+// on its own terms, evaluated on graphs with known closed-form answers.
+
+import (
+	"math"
+	"testing"
+
+	"gpuport/internal/graph"
+)
+
+func gridGraph(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder("t-grid", graph.ClassRoad, rows*cols)
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddUndirected(id(r, c), id(r, c+1), 1)
+			}
+			if r+1 < rows {
+				b.AddUndirected(id(r, c), id(r+1, c), 1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func cycleGraph(n int) *graph.Graph {
+	b := graph.NewBuilder("t-cycle", graph.ClassRoad, n)
+	for i := 0; i < n; i++ {
+		b.AddUndirected(int32(i), int32((i+1)%n), 1)
+	}
+	return b.Build()
+}
+
+// BFS: every edge connects nodes whose levels differ by at most one,
+// and exactly one node (the source) sits at level zero.
+func TestBFSLevelInvariant(t *testing.T) {
+	g := graph.GenerateRMAT("inv-bfs", 9, 8, 31)
+	for _, name := range []string{"bfs-wl", "bfs-topo", "bfs-hybrid", "bfs-tp"} {
+		app, _ := ByName(name)
+		_, out := app.Run(g)
+		dist := out.([]int32)
+		src := SourceNode(g)
+		if dist[src] != 0 {
+			t.Errorf("%s: source level %d", name, dist[src])
+		}
+		for u := int32(0); int(u) < g.NumNodes(); u++ {
+			if dist[u] == Infinity {
+				continue
+			}
+			for _, v := range g.Neighbors(u) {
+				if dist[v] == Infinity {
+					t.Errorf("%s: reached %d has unreached neighbour %d", name, u, v)
+					continue
+				}
+				d := dist[u] - dist[v]
+				if d < -1 || d > 1 {
+					t.Errorf("%s: edge (%d,%d) spans levels %d and %d", name, u, v, dist[u], dist[v])
+				}
+			}
+		}
+	}
+}
+
+// SSSP: relaxed distances satisfy the triangle inequality along every
+// edge, with equality along at least one incoming edge per reached
+// non-source node (a shortest-path tree exists).
+func TestSSSPRelaxationInvariant(t *testing.T) {
+	g := graph.GenerateRoad("inv-sssp", 20, 13)
+	for _, name := range []string{"sssp-wl", "sssp-topo", "sssp-nf"} {
+		app, _ := ByName(name)
+		_, out := app.Run(g)
+		dist := out.([]int32)
+		src := SourceNode(g)
+		for u := int32(0); int(u) < g.NumNodes(); u++ {
+			if dist[u] == Infinity {
+				continue
+			}
+			ws := g.EdgeWeights(u)
+			for i, v := range g.Neighbors(u) {
+				if dist[v] > dist[u]+ws[i] {
+					t.Errorf("%s: edge (%d,%d) violates triangle inequality", name, u, v)
+				}
+			}
+			if u == src {
+				continue
+			}
+			tight := false
+			for w := int32(0); int(w) < g.NumNodes() && !tight; w++ {
+				if dist[w] == Infinity {
+					continue
+				}
+				wws := g.EdgeWeights(w)
+				for i, v := range g.Neighbors(w) {
+					if v == u && dist[w]+wws[i] == dist[u] {
+						tight = true
+						break
+					}
+				}
+			}
+			if !tight {
+				t.Errorf("%s: node %d has no tight incoming edge", name, u)
+			}
+		}
+	}
+}
+
+// CC on a known topology: a cycle is one component; the label each
+// implementation converges to is the component's minimum node id.
+func TestCCMinLabelOnCycle(t *testing.T) {
+	g := cycleGraph(24)
+	for _, name := range []string{"cc-sv", "cc-wl"} {
+		app, _ := ByName(name)
+		_, out := app.Run(g)
+		comp := out.([]int32)
+		for i, c := range comp {
+			if c != 0 {
+				t.Errorf("%s: node %d label %d, want 0 (min id of the single component)", name, i, c)
+			}
+		}
+	}
+}
+
+// MIS on a path: the greedy-by-priority set must cover at least 1/3 of
+// the nodes (any maximal independent set on a path does) and the
+// included nodes can never be adjacent.
+func TestMISDensityOnPath(t *testing.T) {
+	g := pathGraph(60)
+	for _, name := range []string{"mis-wl", "mis-topo"} {
+		app, _ := ByName(name)
+		_, out := app.Run(g)
+		status := out.([]int32)
+		in := 0
+		for _, s := range status {
+			if s == misIn {
+				in++
+			}
+		}
+		if in < g.NumNodes()/3 {
+			t.Errorf("%s: only %d of %d nodes in the set", name, in, g.NumNodes())
+		}
+	}
+}
+
+// MST on a grid with unit weights: the spanning tree weight is exactly
+// nodes-1.
+func TestMSTUnitGrid(t *testing.T) {
+	g := gridGraph(9, 7)
+	app, _ := ByName("mst-boruvka")
+	_, out := app.Run(g)
+	if w := out.(int64); w != int64(g.NumNodes()-1) {
+		t.Errorf("unit-weight MST = %d, want %d", w, g.NumNodes()-1)
+	}
+}
+
+// PageRank: the ranks are a probability distribution (sum 1) and on a
+// vertex-transitive graph (cycle) every node has the same rank.
+func TestPageRankDistribution(t *testing.T) {
+	for _, name := range []string{"pr-topo", "pr-residual"} {
+		app, _ := ByName(name)
+		g := cycleGraph(30)
+		_, out := app.Run(g)
+		pr := out.([]float64)
+		sum := 0.0
+		for _, v := range pr {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-3 {
+			t.Errorf("%s: ranks sum to %v", name, sum)
+		}
+		want := 1.0 / float64(len(pr))
+		for i, v := range pr {
+			if math.Abs(v-want) > 1e-4 {
+				t.Errorf("%s: rank[%d] = %v on a symmetric cycle, want %v", name, i, v, want)
+			}
+		}
+	}
+}
+
+// PageRank hubs: on a star, the centre's rank must dominate every leaf.
+func TestPageRankStarHub(t *testing.T) {
+	b := graph.NewBuilder("t-star2", graph.ClassSocial, 12)
+	for i := 1; i < 12; i++ {
+		b.AddUndirected(0, int32(i), 1)
+	}
+	g := b.Build()
+	for _, name := range []string{"pr-topo", "pr-residual"} {
+		app, _ := ByName(name)
+		_, out := app.Run(g)
+		pr := out.([]float64)
+		for i := 1; i < 12; i++ {
+			if pr[0] <= pr[i] {
+				t.Errorf("%s: hub rank %v <= leaf rank %v", name, pr[0], pr[i])
+			}
+		}
+	}
+}
+
+// Triangles on structured graphs: a grid has none; a cycle of length
+// > 3 has none; gluing one chord into a 4-cycle creates exactly two.
+func TestTriangleStructured(t *testing.T) {
+	cases := []struct {
+		g    *graph.Graph
+		want int64
+	}{
+		{gridGraph(6, 6), 0},
+		{cycleGraph(10), 0},
+		{func() *graph.Graph {
+			b := graph.NewBuilder("t-chord", graph.ClassRandom, 4)
+			b.AddUndirected(0, 1, 1)
+			b.AddUndirected(1, 2, 1)
+			b.AddUndirected(2, 3, 1)
+			b.AddUndirected(3, 0, 1)
+			b.AddUndirected(0, 2, 1) // chord -> triangles {0,1,2} and {0,2,3}
+			return b.Build()
+		}(), 2},
+	}
+	for _, name := range []string{"tri-bs", "tri-merge", "tri-hash"} {
+		app, _ := ByName(name)
+		for _, c := range cases {
+			_, out := app.Run(c.g)
+			if got := out.(int64); got != c.want {
+				t.Errorf("%s on %s: %d triangles, want %d", name, c.g.Name, got, c.want)
+			}
+		}
+	}
+}
+
+// Loop accounting: data-driven BFS performs exactly one launch per
+// level plus the terminating check, and its loop iteration count
+// matches the eccentricity of the source plus one.
+func TestBFSLaunchAccounting(t *testing.T) {
+	g := pathGraph(16) // source = max degree = an interior node
+	app, _ := ByName("bfs-wl")
+	trace, out := app.Run(g)
+	dist := out.([]int32)
+	var ecc int32
+	for _, d := range dist {
+		if d != Infinity && d > ecc {
+			ecc = d
+		}
+	}
+	if len(trace.Loops) != 1 {
+		t.Fatalf("loops = %d", len(trace.Loops))
+	}
+	if got := trace.Loops[0].Iterations; got != int64(ecc)+1 {
+		t.Errorf("iterations = %d, want eccentricity+1 = %d", got, ecc+1)
+	}
+}

@@ -1,0 +1,315 @@
+package apps
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"gpuport/internal/graph"
+)
+
+// This file holds the sequential reference implementations that every
+// application's output is validated against, plus the comparison
+// helpers. References are written independently of the IR layer so a
+// bug in the runtime cannot hide behind an identical bug here.
+
+func errTypeMismatch(app, want string, got any) error {
+	return fmt.Errorf("%s: output type %T, want %s", app, got, want)
+}
+
+func asInt32Slice(g *graph.Graph, out any) ([]int32, error) {
+	s, ok := out.([]int32)
+	if !ok {
+		return nil, errTypeMismatch("app", "[]int32", out)
+	}
+	if len(s) != g.NumNodes() {
+		return nil, fmt.Errorf("output length %d, want %d", len(s), g.NumNodes())
+	}
+	return s, nil
+}
+
+// refBFS computes hop distances from src with a sequential queue BFS.
+func refBFS(g *graph.Graph, src int32) []int32 {
+	dist := initDist(g.NumNodes(), src)
+	queue := []int32{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] == Infinity {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// distHeap is a binary heap of (dist, node) pairs for Dijkstra.
+type distHeap []struct {
+	d int32
+	u int32
+}
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(struct{ d, u int32 })) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// refDijkstra computes weighted shortest path distances from src.
+func refDijkstra(g *graph.Graph, src int32) []int32 {
+	dist := initDist(g.NumNodes(), src)
+	h := &distHeap{{0, src}}
+	for h.Len() > 0 {
+		top := heap.Pop(h).(struct{ d, u int32 })
+		if top.d > dist[top.u] {
+			continue
+		}
+		ws := g.EdgeWeights(top.u)
+		for i, v := range g.Neighbors(top.u) {
+			nd := top.d + ws[i]
+			if nd < dist[v] {
+				dist[v] = nd
+				heap.Push(h, struct{ d, u int32 }{nd, v})
+			}
+		}
+	}
+	return dist
+}
+
+func compareDist(app string, want, got []int32) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("%s: length %d, want %d", app, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Errorf("%s: dist[%d] = %d, want %d", app, i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// refComponents labels connected components by sequential BFS.
+func refComponents(g *graph.Graph) []int32 {
+	n := g.NumNodes()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []int32
+	for s := int32(0); int(s) < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = s
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, v := range g.Neighbors(u) {
+				if comp[v] < 0 {
+					comp[v] = s
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return comp
+}
+
+// compareComponents checks that got induces exactly the same partition
+// as the reference labelling (label values may differ).
+func compareComponents(g *graph.Graph, got []int32) error {
+	want := refComponents(g)
+	n := g.NumNodes()
+	fwd := map[int32]int32{} // want label -> got label
+	rev := map[int32]int32{} // got label -> want label
+	for i := 0; i < n; i++ {
+		w, gl := want[i], got[i]
+		if m, ok := fwd[w]; ok && m != gl {
+			return fmt.Errorf("cc: node %d label %d, but component %d mapped to %d", i, gl, w, m)
+		}
+		if m, ok := rev[gl]; ok && m != w {
+			return fmt.Errorf("cc: label %d spans reference components %d and %d", gl, m, w)
+		}
+		fwd[w] = gl
+		rev[gl] = w
+	}
+	return nil
+}
+
+// verifyMIS checks independence and maximality directly (no reference
+// set needed: any maximal independent set is acceptable).
+func verifyMIS(g *graph.Graph, status []int32) error {
+	n := g.NumNodes()
+	if len(status) != n {
+		return fmt.Errorf("mis: length %d, want %d", len(status), n)
+	}
+	for u := int32(0); int(u) < n; u++ {
+		switch status[u] {
+		case misIn:
+			for _, v := range g.Neighbors(u) {
+				if status[v] == misIn {
+					return fmt.Errorf("mis: adjacent nodes %d and %d both in set", u, v)
+				}
+			}
+		case misOut:
+			covered := false
+			for _, v := range g.Neighbors(u) {
+				if status[v] == misIn {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return fmt.Errorf("mis: node %d excluded but has no set neighbour", u)
+			}
+		default:
+			return fmt.Errorf("mis: node %d still undecided (status %d)", u, status[u])
+		}
+	}
+	return nil
+}
+
+// refMSFWeight computes the minimum spanning forest weight with
+// Kruskal's algorithm over a union-find.
+func refMSFWeight(g *graph.Graph) int64 {
+	type edge struct {
+		w    int32
+		u, v int32
+	}
+	var edges []edge
+	for u := int32(0); int(u) < g.NumNodes(); u++ {
+		ws := g.EdgeWeights(u)
+		for i, v := range g.Neighbors(u) {
+			if u < v { // undirected: take each edge once
+				edges = append(edges, edge{ws[i], u, v})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].w < edges[j].w })
+
+	parent := make([]int32, g.NumNodes())
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	var total int64
+	for _, e := range edges {
+		ru, rv := find(e.u), find(e.v)
+		if ru != rv {
+			parent[ru] = rv
+			total += int64(e.w)
+		}
+	}
+	return total
+}
+
+func compareMSTWeight(g *graph.Graph, got int64) error {
+	want := refMSFWeight(g)
+	if got != want {
+		return fmt.Errorf("mst: forest weight %d, want %d", got, want)
+	}
+	return nil
+}
+
+// refPageRank runs power iteration to near machine precision.
+func refPageRank(g *graph.Graph) []float64 {
+	n := g.NumNodes()
+	pr := make([]float64, n)
+	next := make([]float64, n)
+	for i := range pr {
+		pr[i] = 1.0 / float64(n)
+	}
+	base := (1 - prDamping) / float64(n)
+	for iter := 0; iter < 500; iter++ {
+		var diff float64
+		for u := int32(0); int(u) < n; u++ {
+			sum := 0.0
+			for _, v := range g.Neighbors(u) {
+				if d := g.Degree(v); d > 0 {
+					sum += pr[v] / float64(d)
+				}
+			}
+			next[u] = base + prDamping*sum
+			diff += math.Abs(next[u] - pr[u])
+		}
+		pr, next = next, pr
+		if diff < 1e-12 {
+			break
+		}
+	}
+	return pr
+}
+
+// comparePageRank allows a small L1 deviation: the two variants use
+// different stopping rules, both well inside this budget.
+func comparePageRank(g *graph.Graph, got []float64) error {
+	if len(got) != g.NumNodes() {
+		return fmt.Errorf("pr: length %d, want %d", len(got), g.NumNodes())
+	}
+	want := refPageRank(g)
+	var l1 float64
+	for i := range want {
+		l1 += math.Abs(want[i] - got[i])
+	}
+	if l1 > 1e-3 {
+		return fmt.Errorf("pr: L1 deviation %g from reference (budget 1e-3)", l1)
+	}
+	return nil
+}
+
+// refTriangles counts triangles by oriented intersection with HasEdge
+// lookups - independent of the kernels' shared oriented adjacency.
+func refTriangles(g *graph.Graph) int64 {
+	n := g.NumNodes()
+	less := func(a, b int32) bool {
+		da, db := g.Degree(a), g.Degree(b)
+		if da != db {
+			return da < db
+		}
+		return a < b
+	}
+	var count int64
+	for u := int32(0); int(u) < n; u++ {
+		nbrs := g.Neighbors(u)
+		for i, v := range nbrs {
+			if !less(u, v) {
+				continue
+			}
+			for _, w := range nbrs[i+1:] {
+				if !less(u, w) {
+					continue
+				}
+				// u is the apex; count the closing edge once.
+				if g.HasEdge(v, w) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+func compareTriangles(g *graph.Graph, got int64) error {
+	want := refTriangles(g)
+	if got != want {
+		return fmt.Errorf("tri: count %d, want %d", got, want)
+	}
+	return nil
+}

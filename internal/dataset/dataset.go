@@ -1,0 +1,248 @@
+// Package dataset holds the study's empirical data: timed samples for
+// every (chip, application, input, configuration) combination, with
+// indexing, querying and CSV round-tripping.
+//
+// The full study is 6 chips x 17 applications x 3 inputs x 96
+// configurations x 3 runs = 88,128 timings.
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gpuport/internal/opt"
+)
+
+// Tuple identifies one test: a chip, application, input triple (the
+// paper's "(application, input, chip)" unit).
+type Tuple struct {
+	Chip  string
+	App   string
+	Input string
+}
+
+// String renders the tuple for reports.
+func (t Tuple) String() string {
+	return fmt.Sprintf("%s/%s/%s", t.Chip, t.App, t.Input)
+}
+
+// Key identifies one measured cell: a tuple under a configuration.
+type Key struct {
+	Tuple
+	Config opt.Config
+}
+
+// Record is the measured data for one key.
+type Record struct {
+	Key
+	// Samples holds the timed runs (model nanoseconds).
+	Samples []float64
+}
+
+// Mean returns the arithmetic mean of the samples.
+func (r *Record) Mean() float64 {
+	s := 0.0
+	for _, x := range r.Samples {
+		s += x
+	}
+	return s / float64(len(r.Samples))
+}
+
+// Dataset is the indexed collection of records.
+type Dataset struct {
+	records []Record
+	index   map[Key]int
+
+	chips  []string
+	apps   []string
+	inputs []string
+}
+
+// New returns an empty dataset.
+func New() *Dataset {
+	return &Dataset{index: make(map[Key]int)}
+}
+
+// Add inserts or replaces the record for its key.
+func (d *Dataset) Add(rec Record) {
+	if i, ok := d.index[rec.Key]; ok {
+		d.records[i] = rec
+		return
+	}
+	d.index[rec.Key] = len(d.records)
+	d.records = append(d.records, rec)
+	d.chips = addUnique(d.chips, rec.Chip)
+	d.apps = addUnique(d.apps, rec.App)
+	d.inputs = addUnique(d.inputs, rec.Input)
+}
+
+func addUnique(xs []string, x string) []string {
+	for _, v := range xs {
+		if v == x {
+			return xs
+		}
+	}
+	return append(xs, x)
+}
+
+// Len returns the number of records.
+func (d *Dataset) Len() int { return len(d.records) }
+
+// Chips, Apps and Inputs return the dimension values in insertion order.
+func (d *Dataset) Chips() []string  { return append([]string(nil), d.chips...) }
+func (d *Dataset) Apps() []string   { return append([]string(nil), d.apps...) }
+func (d *Dataset) Inputs() []string { return append([]string(nil), d.inputs...) }
+
+// Samples returns the timed runs for a key, or nil when absent.
+func (d *Dataset) Samples(t Tuple, cfg opt.Config) []float64 {
+	if i, ok := d.index[Key{t, cfg}]; ok {
+		return d.records[i].Samples
+	}
+	return nil
+}
+
+// Mean returns the mean runtime for a key, or NaN-free 0 with ok=false
+// when absent.
+func (d *Dataset) Mean(t Tuple, cfg opt.Config) (float64, bool) {
+	if i, ok := d.index[Key{t, cfg}]; ok {
+		return d.records[i].Mean(), true
+	}
+	return 0, false
+}
+
+// Tuples returns all distinct tuples in deterministic order.
+func (d *Dataset) Tuples() []Tuple {
+	seen := map[Tuple]bool{}
+	var out []Tuple
+	for _, r := range d.records {
+		if !seen[r.Tuple] {
+			seen[r.Tuple] = true
+			out = append(out, r.Tuple)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Chip != out[j].Chip {
+			return out[i].Chip < out[j].Chip
+		}
+		if out[i].App != out[j].App {
+			return out[i].App < out[j].App
+		}
+		return out[i].Input < out[j].Input
+	})
+	return out
+}
+
+// TuplesWhere returns tuples passing the filter, in the same order as
+// Tuples.
+func (d *Dataset) TuplesWhere(keep func(Tuple) bool) []Tuple {
+	var out []Tuple
+	for _, t := range d.Tuples() {
+		if keep(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// BestConfig returns the configuration with the lowest mean runtime for
+// the tuple (the per-tuple oracle) and that runtime.
+func (d *Dataset) BestConfig(t Tuple) (opt.Config, float64, bool) {
+	best := opt.Config{}
+	bestTime := 0.0
+	found := false
+	for _, cfg := range opt.All() {
+		m, ok := d.Mean(t, cfg)
+		if !ok {
+			continue
+		}
+		if !found || m < bestTime {
+			best, bestTime, found = cfg, m, true
+		}
+	}
+	return best, bestTime, found
+}
+
+// WriteCSV serialises the dataset: header then one row per record with
+// samples in fixed columns.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	maxSamples := 0
+	for _, r := range d.records {
+		if len(r.Samples) > maxSamples {
+			maxSamples = len(r.Samples)
+		}
+	}
+	header := []string{"chip", "app", "input", "config"}
+	for i := 0; i < maxSamples; i++ {
+		header = append(header, fmt.Sprintf("run%d", i+1))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range d.records {
+		row := []string{r.Chip, r.App, r.Input, r.Config.String()}
+		for _, s := range r.Samples {
+			row = append(row, strconv.FormatFloat(s, 'g', 17, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCSV deserialises a dataset written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: empty CSV")
+	}
+	head := rows[0]
+	if len(head) < 5 || head[0] != "chip" || head[3] != "config" {
+		return nil, fmt.Errorf("dataset: unexpected header %v", head)
+	}
+	d := New()
+	for i, row := range rows[1:] {
+		if len(row) < 5 {
+			return nil, fmt.Errorf("dataset: row %d has %d fields", i+2, len(row))
+		}
+		cfg, err := opt.Parse(row[3])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d: %w", i+2, err)
+		}
+		rec := Record{Key: Key{Tuple{row[0], row[1], row[2]}, cfg}}
+		for _, f := range row[4:] {
+			if strings.TrimSpace(f) == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d: %w", i+2, err)
+			}
+			if v <= 0 {
+				return nil, fmt.Errorf("dataset: row %d: non-positive sample %v", i+2, v)
+			}
+			rec.Samples = append(rec.Samples, v)
+		}
+		if len(rec.Samples) == 0 {
+			return nil, fmt.Errorf("dataset: row %d: no samples", i+2)
+		}
+		d.Add(rec)
+	}
+	return d, nil
+}

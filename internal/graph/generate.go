@@ -1,0 +1,157 @@
+package graph
+
+import (
+	"fmt"
+
+	"gpuport/internal/stats"
+)
+
+// The three standard study inputs. Sizes are chosen so the full 17-app x
+// 3-input sweep runs in seconds while preserving the structural contrast
+// the paper leans on: usa.ny has ~300x the diameter of the social input.
+const (
+	// RoadGridSide is the side length of the generated road network grid.
+	RoadGridSide = 110
+	// SocialScale is the log2 node count of the RMAT social graph.
+	SocialScale = 13
+	// SocialEdgeFactor is average directed edges per node for RMAT.
+	SocialEdgeFactor = 16
+	// RandomNodes is the node count of the uniform random graph.
+	RandomNodes = 8192
+	// RandomDegree is the uniform out-degree of the random graph.
+	RandomDegree = 8
+)
+
+// StandardInputs generates the study's three inputs with fixed seeds:
+// a usa.ny-like road network, an RMAT social network, and a uniform
+// random graph. Deterministic: repeated calls return identical graphs.
+func StandardInputs() []*Graph {
+	return []*Graph{
+		GenerateRoad("usa.ny", RoadGridSide, 1001),
+		GenerateRMAT("soc-pokec", SocialScale, SocialEdgeFactor, 2002),
+		GenerateUniform("rand-8k", RandomNodes, RandomDegree, 3003),
+	}
+}
+
+// ExtendedInputs generates a second instance of each input class with
+// different sizes and seeds. They are not part of the paper's study;
+// the robustness tooling uses them to test whether recommendations
+// derived on the standard inputs transfer to fresh inputs of the same
+// classes (a domain-shift experiment).
+func ExtendedInputs() []*Graph {
+	return []*Graph{
+		GenerateRoad("usa.bay", 150, 4004),
+		GenerateRMAT("soc-lj", SocialScale, 12, 5005),
+		GenerateUniform("rand-16k", 16384, 6, 6006),
+	}
+}
+
+// InputByName regenerates a standard or extended input by name.
+func InputByName(name string) (*Graph, error) {
+	for _, g := range StandardInputs() {
+		if g.Name == name {
+			return g, nil
+		}
+	}
+	for _, g := range ExtendedInputs() {
+		if g.Name == name {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: unknown input %q", name)
+}
+
+// GenerateRoad builds a road-network-like graph: an n x n grid of
+// intersections with 4-neighbour connectivity, a small fraction of
+// removed streets (dead ends and irregular blocks), and a few long-range
+// "highway" shortcuts. The result is connected, planar-ish, has uniform
+// low degree (<= 4 + rare highways) and diameter O(n) - the properties
+// that make BFS/SSSP on usa.ny iteration-bound in the paper.
+func GenerateRoad(name string, side int, seed uint64) *Graph {
+	rng := stats.NewRNG(seed)
+	n := side * side
+	b := NewBuilder(name, ClassRoad, n)
+	id := func(r, c int) int32 { return int32(r*side + c) }
+
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			// Edge weights model street lengths: 1..10.
+			if c+1 < side {
+				// Remove ~7% of east-west streets, but never disconnect
+				// the first row (keeps the graph connected).
+				if r == 0 || rng.Float64() >= 0.07 {
+					b.AddUndirected(id(r, c), id(r, c+1), int32(1+rng.Intn(10)))
+				}
+			}
+			if r+1 < side {
+				if c == 0 || rng.Float64() >= 0.07 {
+					b.AddUndirected(id(r, c), id(r+1, c), int32(1+rng.Intn(10)))
+				}
+			}
+		}
+	}
+	// Highways: sparse long shortcuts, ~0.1% of nodes get one.
+	highways := n / 1000
+	for i := 0; i < highways; i++ {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		if u != v {
+			b.AddUndirected(u, v, int32(20+rng.Intn(30)))
+		}
+	}
+	return b.Build()
+}
+
+// GenerateRMAT builds a power-law social-network-like graph using the
+// RMAT recursive quadrant model with the canonical Graph500 parameters
+// (a, b, c) = (0.57, 0.19, 0.19). Edges are made undirected so every
+// application (including the symmetric ones) can consume the input, as
+// the study's framework does.
+func GenerateRMAT(name string, scale, edgeFactor int, seed uint64) *Graph {
+	rng := stats.NewRNG(seed)
+	n := 1 << scale
+	m := n * edgeFactor / 2 // undirected edge pairs
+	b := NewBuilder(name, ClassSocial, n)
+	const a, bb, c = 0.57, 0.19, 0.19
+	for i := 0; i < m; i++ {
+		var u, v int
+		for bit := scale - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: no bits set
+			case r < a+bb:
+				v |= 1 << bit
+			case r < a+bb+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u != v {
+			b.AddUndirected(int32(u), int32(v), int32(1+rng.Intn(100)))
+		}
+		u, v = 0, 0
+	}
+	return b.Build()
+}
+
+// GenerateUniform builds an Erdos-Renyi style graph where every node
+// draws `degree` random neighbours. Degrees are near-uniform, so the
+// nested-parallelism optimisations have little imbalance to exploit -
+// the paper's "if there is very little load imbalance ... these schemes
+// simply add overhead" case.
+func GenerateUniform(name string, nodes, degree int, seed uint64) *Graph {
+	rng := stats.NewRNG(seed)
+	b := NewBuilder(name, ClassRandom, nodes)
+	for u := 0; u < nodes; u++ {
+		for d := 0; d < degree; d++ {
+			v := rng.Intn(nodes)
+			if v != u {
+				b.AddUndirected(int32(u), int32(v), int32(1+rng.Intn(50)))
+			}
+		}
+	}
+	return b.Build()
+}

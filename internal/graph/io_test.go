@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, g := range []*Graph{
+		smallTriangle(),
+		GenerateUniform("rt-uni", 300, 5, 4),
+		GenerateRMAT("rt-rmat", 9, 8, 4),
+	} {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatalf("%s: write: %v", g.Name, err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", g.Name, err)
+		}
+		if got.Name != g.Name || got.Class != g.Class {
+			t.Errorf("%s: metadata mismatch: %q/%v", g.Name, got.Name, got.Class)
+		}
+		if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s: size mismatch", g.Name)
+		}
+		for i := range g.Dst {
+			if got.Dst[i] != g.Dst[i] || got.Weight[i] != g.Weight[i] {
+				t.Fatalf("%s: edge %d mismatch", g.Name, i)
+			}
+		}
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("GPGR"), // truncated after magic
+		append([]byte("GPGR"), bytes.Repeat([]byte{0xff}, 16)...),
+	}
+	for i, c := range cases {
+		if _, err := ReadBinary(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestReadBinaryRejectsWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, smallTriangle()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 99 // clobber version
+	if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+		t.Error("expected version error")
+	}
+}
+
+func TestWriteEdgeList(t *testing.T) {
+	var buf bytes.Buffer
+	g := smallTriangle()
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+g.NumEdges() {
+		t.Fatalf("got %d lines, want %d", len(lines), 1+g.NumEdges())
+	}
+	if !strings.HasPrefix(lines[0], "# tri random 3 6") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0 1 1" {
+		t.Errorf("first edge = %q", lines[1])
+	}
+}

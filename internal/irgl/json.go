@@ -1,0 +1,49 @@
+package irgl
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Traces serialise to JSON for offline inspection and for the
+// cmd/apptrace tool. The format is a single object:
+//
+//	{"app": ..., "input": ..., "launches": [...], "loops": [...]}
+//
+// All fields round-trip exactly; see TestTraceJSONRoundTrip.
+
+type traceJSON struct {
+	App      string        `json:"app"`
+	Input    string        `json:"input"`
+	Launches []KernelStats `json:"launches"`
+	Loops    []LoopStats   `json:"loops,omitempty"`
+}
+
+// WriteJSON serialises the trace.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(traceJSON{t.App, t.Input, t.Launches, t.Loops}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadTraceJSON deserialises a trace written by WriteJSON.
+func ReadTraceJSON(r io.Reader) (*Trace, error) {
+	var tj traceJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tj); err != nil {
+		return nil, fmt.Errorf("irgl: decoding trace: %w", err)
+	}
+	tr := &Trace{App: tj.App, Input: tj.Input, Launches: tj.Launches, Loops: tj.Loops}
+	for i, l := range tr.Launches {
+		if l.Items < 0 || l.TotalWork < 0 {
+			return nil, fmt.Errorf("irgl: launch %d has negative counters", i)
+		}
+	}
+	return tr, nil
+}

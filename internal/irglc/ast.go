@@ -1,0 +1,158 @@
+package irglc
+
+// AST node definitions. Every node carries the token that opened it for
+// error reporting.
+
+// Program is a parsed DSL program.
+type Program struct {
+	Name    string
+	Nodes   []*NodeDecl
+	Kernels []*Kernel
+	Host    *Block
+}
+
+// KernelByName returns the kernel with the given name, or nil.
+func (p *Program) KernelByName(name string) *Kernel {
+	for _, k := range p.Kernels {
+		if k.Name == name {
+			return k
+		}
+	}
+	return nil
+}
+
+// NodeDecl declares a per-node int array with an optional initialiser
+// ("node dist: int = INF").
+type NodeDecl struct {
+	Tok  Token
+	Name string
+	Init Expr // nil means zero
+}
+
+// Kernel is a device kernel definition.
+type Kernel struct {
+	Tok  Token
+	Name string
+	Body *Block
+}
+
+// Block is a statement list.
+type Block struct {
+	Stmts []Stmt
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmt() }
+
+// Assign writes to a node array element or a local variable.
+type Assign struct {
+	Tok    Token
+	Target Expr // *Index or *Var
+	Value  Expr
+}
+
+// Let introduces a kernel-local (per-item) variable.
+type Let struct {
+	Tok   Token
+	Name  string
+	Value Expr
+}
+
+// If is a conditional with an optional else block.
+type If struct {
+	Tok  Token
+	Cond Expr
+	Then *Block
+	Else *Block
+}
+
+// Forall is the outer data-parallel loop: over the worklist or over
+// all nodes.
+type Forall struct {
+	Tok      Token
+	Var      string
+	Worklist bool // true: worklist-driven; false: over all nodes
+	Body     *Block
+}
+
+// Foreach iterates the out-edges of a node expression, binding the
+// destination and weight.
+type Foreach struct {
+	Tok    Token
+	DstVar string
+	WVar   string
+	Node   Expr
+	Body   *Block
+}
+
+// Push appends a node to the (implicit) worklist.
+type Push struct {
+	Tok  Token
+	Node Expr
+}
+
+// Iterate is the host fixpoint loop: launch the kernel over the
+// worklist until it drains.
+type Iterate struct {
+	Tok    Token
+	Kernel string
+}
+
+// Expr is implemented by all expression nodes.
+type Expr interface{ expr() }
+
+// IntLit is an integer literal, INF, SRC or NUMNODES.
+type IntLit struct {
+	Tok  Token
+	Kind Kind // INT, KWInf, KWSrc or KWNumNodes
+	Val  int64
+}
+
+// Var references a loop variable or a let binding.
+type Var struct {
+	Tok  Token
+	Name string
+}
+
+// Index references a node array element.
+type Index struct {
+	Tok   Token
+	Array string
+	At    Expr
+}
+
+// Call is a builtin call: atomicMin, atomicMax, atomicAdd, degree.
+type Call struct {
+	Tok  Token
+	Name string
+	Args []Expr
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Tok  Token
+	Op   Kind
+	L, R Expr
+}
+
+// Unary is !x or -x.
+type Unary struct {
+	Tok Token
+	Op  Kind
+	X   Expr
+}
+
+func (*Assign) stmt()  {}
+func (*Let) stmt()     {}
+func (*If) stmt()      {}
+func (*Forall) stmt()  {}
+func (*Foreach) stmt() {}
+func (*Push) stmt()    {}
+func (*Iterate) stmt() {}
+
+func (*IntLit) expr() {}
+func (*Var) expr()    {}
+func (*Index) expr()  {}
+func (*Call) expr()   {}
+func (*Binary) expr() {}
+func (*Unary) expr()  {}

@@ -1,0 +1,296 @@
+package irglc
+
+import "fmt"
+
+// Check validates a parsed program: names resolve, builtins get the
+// right arity, loop structure is legal (foreach inside forall, iterate
+// only in host code, push only in kernels or host top level), and
+// conditions are boolean while arithmetic is integer.
+func Check(p *Program) error {
+	c := &checker{prog: p, arrays: map[string]bool{}}
+	for _, d := range p.Nodes {
+		if c.arrays[d.Name] {
+			return fmt.Errorf("irglc: duplicate node array %q", d.Name)
+		}
+		c.arrays[d.Name] = true
+		if d.Init != nil {
+			if ty, err := c.exprType(d.Init, nil); err != nil {
+				return err
+			} else if ty != tyInt {
+				return fmt.Errorf("irglc: initialiser of %q is not an int", d.Name)
+			}
+		}
+	}
+	seen := map[string]bool{}
+	for _, k := range p.Kernels {
+		if seen[k.Name] {
+			return fmt.Errorf("irglc: duplicate kernel %q", k.Name)
+		}
+		seen[k.Name] = true
+		if err := c.checkBlock(k.Body, ctx{inKernel: true}, map[string]bool{}); err != nil {
+			return err
+		}
+		// A kernel must contain exactly one top-level forall.
+		foralls := 0
+		for _, s := range k.Body.Stmts {
+			if _, ok := s.(*Forall); ok {
+				foralls++
+			}
+		}
+		if foralls != 1 || len(k.Body.Stmts) != 1 {
+			return fmt.Errorf("irglc: kernel %q must consist of exactly one forall loop", k.Name)
+		}
+	}
+	return c.checkBlock(p.Host, ctx{inHost: true}, map[string]bool{})
+}
+
+type checker struct {
+	prog   *Program
+	arrays map[string]bool
+}
+
+type ctx struct {
+	inHost    bool
+	inKernel  bool
+	inForall  bool
+	inForeach bool
+}
+
+type ty int
+
+const (
+	tyInt ty = iota
+	tyBool
+)
+
+func (c *checker) checkBlock(b *Block, cx ctx, vars map[string]bool) error {
+	local := map[string]bool{}
+	for k := range vars {
+		local[k] = true
+	}
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s, cx, local); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func errAt(t Token, format string, args ...any) error {
+	return fmt.Errorf("irglc: %d:%d: %s", t.Line, t.Col, fmt.Sprintf(format, args...))
+}
+
+func (c *checker) checkStmt(s Stmt, cx ctx, vars map[string]bool) error {
+	switch st := s.(type) {
+	case *Let:
+		if !cx.inForall && !cx.inHost {
+			return errAt(st.Tok, "let is only allowed inside forall bodies or host code")
+		}
+		ty, err := c.exprType(st.Value, vars)
+		if err != nil {
+			return err
+		}
+		if ty != tyInt {
+			return errAt(st.Tok, "let binds ints, got a boolean")
+		}
+		vars[st.Name] = true
+		return nil
+	case *Assign:
+		switch tgt := st.Target.(type) {
+		case *Index:
+			if !c.arrays[tgt.Array] {
+				return errAt(tgt.Tok, "unknown node array %q", tgt.Array)
+			}
+			if ty, err := c.exprType(tgt.At, vars); err != nil {
+				return err
+			} else if ty != tyInt {
+				return errAt(tgt.Tok, "array index must be an int")
+			}
+		case *Var:
+			if !vars[tgt.Name] {
+				return errAt(tgt.Tok, "assignment to undeclared variable %q (use let)", tgt.Name)
+			}
+		}
+		ty, err := c.exprType(st.Value, vars)
+		if err != nil {
+			return err
+		}
+		if ty != tyInt {
+			return errAt(st.Tok, "assigned value must be an int")
+		}
+		return nil
+	case *If:
+		ty, err := c.exprType(st.Cond, vars)
+		if err != nil {
+			return err
+		}
+		if ty != tyBool {
+			return errAt(st.Tok, "if condition must be boolean")
+		}
+		if err := c.checkBlock(st.Then, cx, vars); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkBlock(st.Else, cx, vars)
+		}
+		return nil
+	case *Forall:
+		if !cx.inKernel && !cx.inHost {
+			return errAt(st.Tok, "forall is only allowed inside kernels or host code")
+		}
+		if cx.inHost && st.Worklist {
+			return errAt(st.Tok, "host forall initialisation loops run over nodes, not the worklist")
+		}
+		if cx.inForall {
+			return errAt(st.Tok, "forall loops do not nest")
+		}
+		inner := cx
+		inner.inForall = true
+		nv := map[string]bool{st.Var: true}
+		for k := range vars {
+			nv[k] = true
+		}
+		return c.checkBlock(st.Body, inner, nv)
+	case *Foreach:
+		if !cx.inForall || !cx.inKernel {
+			return errAt(st.Tok, "foreach must appear inside a kernel's forall loop")
+		}
+		if cx.inForeach {
+			return errAt(st.Tok, "foreach loops do not nest")
+		}
+		if ty, err := c.exprType(st.Node, vars); err != nil {
+			return err
+		} else if ty != tyInt {
+			return errAt(st.Tok, "edges() takes a node id")
+		}
+		inner := cx
+		inner.inForeach = true
+		nv := map[string]bool{st.DstVar: true, st.WVar: true}
+		for k := range vars {
+			nv[k] = true
+		}
+		return c.checkBlock(st.Body, inner, nv)
+	case *Push:
+		if !cx.inForall && !cx.inHost {
+			return errAt(st.Tok, "push is only allowed in kernels or host code")
+		}
+		ty, err := c.exprType(st.Node, vars)
+		if err != nil {
+			return err
+		}
+		if ty != tyInt {
+			return errAt(st.Tok, "push takes a node id")
+		}
+		return nil
+	case *Iterate:
+		if !cx.inHost {
+			return errAt(st.Tok, "iterate is host-only")
+		}
+		if c.prog.KernelByName(st.Kernel) == nil {
+			return errAt(st.Tok, "iterate references unknown kernel %q", st.Kernel)
+		}
+		return nil
+	default:
+		return fmt.Errorf("irglc: unknown statement %T", s)
+	}
+}
+
+// builtins maps name -> (arity, first arg must be array index, result type).
+var builtins = map[string]struct {
+	arity      int
+	firstIndex bool
+	result     ty
+}{
+	"atomicMin": {2, true, tyBool},
+	"atomicMax": {2, true, tyBool},
+	"atomicAdd": {2, true, tyInt},
+	"degree":    {1, false, tyInt},
+	"min":       {2, false, tyInt},
+	"max":       {2, false, tyInt},
+}
+
+func (c *checker) exprType(e Expr, vars map[string]bool) (ty, error) {
+	switch ex := e.(type) {
+	case *IntLit:
+		return tyInt, nil
+	case *Var:
+		if vars == nil || !vars[ex.Name] {
+			return 0, errAt(ex.Tok, "unknown variable %q", ex.Name)
+		}
+		return tyInt, nil
+	case *Index:
+		if !c.arrays[ex.Array] {
+			return 0, errAt(ex.Tok, "unknown node array %q", ex.Array)
+		}
+		if t, err := c.exprType(ex.At, vars); err != nil {
+			return 0, err
+		} else if t != tyInt {
+			return 0, errAt(ex.Tok, "array index must be an int")
+		}
+		return tyInt, nil
+	case *Call:
+		b, ok := builtins[ex.Name]
+		if !ok {
+			return 0, errAt(ex.Tok, "unknown builtin %q", ex.Name)
+		}
+		if len(ex.Args) != b.arity {
+			return 0, errAt(ex.Tok, "%s takes %d arguments, got %d", ex.Name, b.arity, len(ex.Args))
+		}
+		if b.firstIndex {
+			if _, ok := ex.Args[0].(*Index); !ok {
+				return 0, errAt(ex.Tok, "%s requires a node array element as its first argument", ex.Name)
+			}
+		}
+		for _, a := range ex.Args {
+			if t, err := c.exprType(a, vars); err != nil {
+				return 0, err
+			} else if t != tyInt {
+				return 0, errAt(ex.Tok, "%s arguments must be ints", ex.Name)
+			}
+		}
+		return b.result, nil
+	case *Binary:
+		lt, err := c.exprType(ex.L, vars)
+		if err != nil {
+			return 0, err
+		}
+		rt, err := c.exprType(ex.R, vars)
+		if err != nil {
+			return 0, err
+		}
+		switch ex.Op {
+		case AndAnd, OrOr:
+			if lt != tyBool || rt != tyBool {
+				return 0, errAt(ex.Tok, "logical operators need boolean operands")
+			}
+			return tyBool, nil
+		case Eq, Neq, Lt, Leq, Gt, Geq:
+			if lt != tyInt || rt != tyInt {
+				return 0, errAt(ex.Tok, "comparisons need int operands")
+			}
+			return tyBool, nil
+		default:
+			if lt != tyInt || rt != tyInt {
+				return 0, errAt(ex.Tok, "arithmetic needs int operands")
+			}
+			return tyInt, nil
+		}
+	case *Unary:
+		t, err := c.exprType(ex.X, vars)
+		if err != nil {
+			return 0, err
+		}
+		if ex.Op == Not {
+			if t != tyBool {
+				return 0, errAt(ex.Tok, "! needs a boolean")
+			}
+			return tyBool, nil
+		}
+		if t != tyInt {
+			return 0, errAt(ex.Tok, "unary minus needs an int")
+		}
+		return tyInt, nil
+	default:
+		return 0, fmt.Errorf("irglc: unknown expression %T", e)
+	}
+}

@@ -1,0 +1,41 @@
+package irglc_test
+
+import (
+	"fmt"
+
+	"gpuport/internal/graph"
+	"gpuport/internal/irglc"
+	"gpuport/internal/opt"
+)
+
+// Compile a DSL program, run it on a graph and inspect the result.
+func ExampleCompile() {
+	exe, err := irglc.Compile(irglc.BFSSource)
+	if err != nil {
+		panic(err)
+	}
+	g := graph.GenerateRoad("example-road", 10, 1)
+	trace, arrays, err := exe.Run(g)
+	if err != nil {
+		panic(err)
+	}
+	dist := arrays["dist"]
+	fmt.Println("launches:", trace.TotalLaunches() > 0)
+	fmt.Println("source distance:", dist[0] >= 0)
+	// Output:
+	// launches: true
+	// source distance: true
+}
+
+// Emit the OpenCL translation of a program under one configuration.
+func ExampleGenerateOpenCL() {
+	exe, err := irglc.Compile(irglc.SSSPSource)
+	if err != nil {
+		panic(err)
+	}
+	cfg, _ := opt.Parse("fg8")
+	src := irglc.GenerateOpenCL(exe.Program(), cfg)
+	fmt.Println(len(src) > 0)
+	// Output:
+	// true
+}

@@ -1,0 +1,69 @@
+package irglc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gpuport/internal/stats"
+)
+
+// TestParserNeverPanics throws token soup at the full compile pipeline:
+// any input must produce a value or an error, never a panic.
+func TestParserNeverPanics(t *testing.T) {
+	fragments := []string{
+		"program", "node", "kernel", "host", "forall", "foreach", "in",
+		"worklist", "nodes", "edges", "if", "else", "push", "iterate",
+		"let", "int", "INF", "SRC", "NUMNODES", "x", "y", "dist", "42",
+		"{", "}", "(", ")", "[", "]", ",", ":", "=", "+", "-", "*", "/",
+		"%", "==", "!=", "<", "<=", ">", ">=", "&&", "||", "!",
+	}
+	f := func(seed uint64, n uint8) bool {
+		rng := stats.NewRNG(seed)
+		var b strings.Builder
+		for i := 0; i < int(n); i++ {
+			b.WriteString(fragments[rng.Intn(len(fragments))])
+			b.WriteByte(' ')
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("compile panicked on %q: %v", b.String(), r)
+			}
+		}()
+		_, _ = Compile(b.String())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMutatedSamplesNeverPanic corrupts valid programs byte by byte.
+func TestMutatedSamplesNeverPanic(t *testing.T) {
+	rng := stats.NewRNG(99)
+	for _, src := range Samples() {
+		for trial := 0; trial < 200; trial++ {
+			b := []byte(src)
+			// 1-3 random mutations.
+			for m := 0; m <= rng.Intn(3); m++ {
+				pos := rng.Intn(len(b))
+				switch rng.Intn(3) {
+				case 0:
+					b[pos] = byte(32 + rng.Intn(95))
+				case 1:
+					b = append(b[:pos], b[pos+1:]...)
+				default:
+					b = append(b[:pos], append([]byte{'{'}, b[pos:]...)...)
+				}
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("compile panicked on mutated source: %v", r)
+					}
+				}()
+				_, _ = Compile(string(b))
+			}()
+		}
+	}
+}

@@ -1,0 +1,342 @@
+package irglc
+
+import (
+	"strings"
+	"testing"
+
+	"gpuport/internal/apps"
+	"gpuport/internal/graph"
+	"gpuport/internal/irgl"
+	"gpuport/internal/opt"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("program x # comment\nnode d: int = 42\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []Kind{KWProgram, IDENT, KWNode, IDENT, Colon, KWInt, OpAssign, INT, EOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("token count = %d, want %d (%v)", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want kind %d", i, toks[i], k)
+		}
+	}
+	if toks[7].Int != 42 {
+		t.Errorf("int literal = %d", toks[7].Int)
+	}
+}
+
+func TestLexOperatorsAndErrors(t *testing.T) {
+	toks, err := Lex("== != <= >= && || < > ! + - * / %")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{Eq, Neq, Leq, Geq, AndAnd, OrOr, Lt, Gt, Not, Plus, Minus, Star, Slash, Percent, EOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d kind = %d, want %d", i, toks[i].Kind, k)
+		}
+	}
+	if _, err := Lex("a @ b"); err == nil {
+		t.Error("expected lex error for '@'")
+	}
+}
+
+func TestParseSamples(t *testing.T) {
+	for name, src := range Samples() {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if prog.Name != name {
+			t.Errorf("program name %q, want %q", prog.Name, name)
+		}
+		if err := Check(prog); err != nil {
+			t.Errorf("%s: check: %v", name, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                             // no program
+		"program",                      // missing name
+		"program p",                    // no host
+		"program p host { iterate k }", // unknown kernel
+		"program p host { push( }",     // bad expr
+		"program p kernel k { } host {}",
+		"program p node d: int host { d[0 = 1 }",
+	}
+	for _, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%.40q) should fail", src)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := map[string]string{
+		"dup array": `program p
+node d: int
+node d: int
+host {}`,
+		"unknown array": `program p
+host { x[0] = 1 }`,
+		"bool assign": `program p
+node d: int
+host { d[0] = 1 < 2 }`,
+		"iterate topo": `program p
+node d: int
+kernel k { forall u in nodes { d[u] = 0 } }
+host { iterate k }`,
+		"foreach outside kernel": `program p
+node d: int
+host { forall u in nodes { foreach (v, w) in edges(u) { d[v] = 0 } } }`,
+		"push of bool": `program p
+kernel k { forall u in worklist { push(1 < 2) } }
+host { push(0) iterate k }`,
+		"two foralls": `program p
+node d: int
+kernel k { forall u in worklist { d[u] = 0 } forall v in worklist { d[v] = 0 } }
+host { iterate k }`,
+		"atomic on scalar": `program p
+node d: int
+kernel k { forall u in worklist { if atomicMin(u, 3) { d[u] = 0 } } }
+host { iterate k }`,
+	}
+	for name, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("%s: expected compile error", name)
+		}
+	}
+}
+
+// TestBFSTraceEquivalence is the central compiler test: the DSL BFS
+// must produce byte-identical per-launch statistics to the hand-written
+// bfs-wl application, and the same distances.
+func TestBFSTraceEquivalence(t *testing.T) {
+	exe, err := Compile(BFSSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []*graph.Graph{
+		graph.GenerateRoad("eq-road", 20, 3),
+		graph.GenerateRMAT("eq-rmat", 9, 8, 4),
+	} {
+		dslTrace, arrays, err := exe.Run(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, _ := apps.ByName("bfs-wl")
+		nativeTrace, out := app.Run(g)
+		native := out.([]int32)
+
+		dist := arrays["dist"]
+		for i := range native {
+			if dist[i] != native[i] {
+				t.Fatalf("%s: dist[%d] = %d, native %d", g.Name, i, dist[i], native[i])
+			}
+		}
+		compareTraces(t, g.Name, dslTrace, nativeTrace)
+	}
+}
+
+func TestSSSPTraceEquivalence(t *testing.T) {
+	exe, err := Compile(SSSPSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.GenerateRoad("eq-sssp", 16, 9)
+	dslTrace, arrays, err := exe.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, _ := apps.ByName("sssp-wl")
+	nativeTrace, out := app.Run(g)
+	native := out.([]int32)
+	dist := arrays["dist"]
+	for i := range native {
+		if dist[i] != native[i] {
+			t.Fatalf("dist[%d] = %d, native %d", i, dist[i], native[i])
+		}
+	}
+	compareTraces(t, g.Name, dslTrace, nativeTrace)
+}
+
+func TestCCTraceEquivalence(t *testing.T) {
+	exe, err := Compile(CCSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.GenerateUniform("eq-cc", 600, 4, 8)
+	dslTrace, arrays, err := exe.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, _ := apps.ByName("cc-wl")
+	nativeTrace, out := app.Run(g)
+	native := out.([]int32)
+	comp := arrays["comp"]
+	for i := range native {
+		if comp[i] != native[i] {
+			t.Fatalf("comp[%d] = %d, native %d", i, comp[i], native[i])
+		}
+	}
+	compareTraces(t, g.Name, dslTrace, nativeTrace)
+}
+
+// compareTraces asserts identical per-launch statistics (names differ).
+func compareTraces(t *testing.T, input string, a, b *irgl.Trace) {
+	t.Helper()
+	if len(a.Launches) != len(b.Launches) {
+		t.Fatalf("%s: launches %d vs %d", input, len(a.Launches), len(b.Launches))
+	}
+	for i := range a.Launches {
+		la, lb := a.Launches[i], b.Launches[i]
+		la.Name, lb.Name = "", ""
+		if la != lb {
+			t.Fatalf("%s: launch %d stats differ:\n dsl   %+v\n native %+v", input, i, la, lb)
+		}
+	}
+	if len(a.Loops) != len(b.Loops) {
+		t.Fatalf("%s: loops %d vs %d", input, len(a.Loops), len(b.Loops))
+	}
+	for i := range a.Loops {
+		if a.Loops[i].Iterations != b.Loops[i].Iterations {
+			t.Fatalf("%s: loop %d iterations %d vs %d", input, i,
+				a.Loops[i].Iterations, b.Loops[i].Iterations)
+		}
+	}
+}
+
+func TestHostForallInit(t *testing.T) {
+	src := `program init
+node a: int
+host {
+    forall u in nodes {
+        a[u] = u * 2
+    }
+}`
+	exe, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.GenerateUniform("init-g", 50, 3, 1)
+	_, arrays, err := exe.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range arrays["a"] {
+		if v != int32(i*2) {
+			t.Fatalf("a[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	src := `program oops
+node d: int
+host { d[NUMNODES] = 1 }`
+	exe, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.GenerateUniform("oops-g", 10, 2, 1)
+	if _, _, err := exe.Run(g); err == nil {
+		t.Error("out-of-range store should fail at runtime")
+	}
+	src2 := `program div
+node d: int
+host { d[0] = 1 / 0 }`
+	exe2, err := Compile(src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := exe2.Run(g); err == nil {
+		t.Error("division by zero should fail at runtime")
+	}
+}
+
+func TestCodegenMarkers(t *testing.T) {
+	exe, err := Compile(BFSSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := exe.Program()
+	cases := []struct {
+		cfg     opt.Config
+		want    []string
+		wantNot []string
+	}{
+		{
+			cfg:     opt.Config{},
+			want:    []string{"#define WG_SIZE 128", "atomic_add(out_wl_tail, 1)", "clEnqueueNDRangeKernel"},
+			wantNot: []string{"coop_push", "sub_group_barrier", "__global_barrier", "FG_CHUNK"},
+		},
+		{
+			cfg:  opt.Config{CoopCV: true},
+			want: []string{"coop_push(out_wl, out_wl_tail", "sub_group_scan_exclusive_add", "sub_group_reduce_add"},
+		},
+		{
+			cfg:  opt.Config{SG: true},
+			want: []string{"sub_group_barrier(CLK_LOCAL_MEM_FENCE)", "get_sub_group_local_id()"},
+		},
+		{
+			cfg:  opt.Config{WG: true},
+			want: []string{"barrier(CLK_LOCAL_MEM_FENCE)", "deg >= WG_SIZE", "lanes idle"},
+		},
+		{
+			cfg:  opt.Config{FG: opt.FG8},
+			want: []string{"#define FG_CHUNK 8", "base += FG_CHUNK"},
+		},
+		{
+			cfg:  opt.Config{FG: opt.FG1},
+			want: []string{"#define FG_CHUNK 1"},
+		},
+		{
+			cfg:     opt.Config{OiterGB: true},
+			want:    []string{"__global_barrier(bar)", "persistent kernel"},
+			wantNot: []string{"clEnqueueNDRangeKernel"},
+		},
+		{
+			cfg:  opt.Config{SZ256: true},
+			want: []string{"#define WG_SIZE 256"},
+		},
+		{
+			cfg: opt.Config{CoopCV: true, SG: true, WG: true, FG: opt.FG8, OiterGB: true, SZ256: true},
+			want: []string{
+				"#define WG_SIZE 256", "coop_push", "sub_group_barrier",
+				"barrier(CLK_LOCAL_MEM_FENCE)", "FG_CHUNK 8", "__global_barrier",
+			},
+		},
+	}
+	for _, c := range cases {
+		src := GenerateOpenCL(prog, c.cfg)
+		for _, want := range c.want {
+			if !strings.Contains(src, want) {
+				t.Errorf("[%s]: generated code missing %q", c.cfg, want)
+			}
+		}
+		for _, bad := range c.wantNot {
+			if strings.Contains(src, bad) {
+				t.Errorf("[%s]: generated code should not contain %q", c.cfg, bad)
+			}
+		}
+	}
+}
+
+func TestCodegenAllConfigsProduceOutput(t *testing.T) {
+	exe, _ := Compile(SSSPSource)
+	for _, cfg := range opt.All() {
+		src := GenerateOpenCL(exe.Program(), cfg)
+		if !strings.Contains(src, "__kernel void relax(") {
+			t.Fatalf("[%s]: kernel missing", cfg)
+		}
+		if !strings.Contains(src, "atomic_min(&dist[") {
+			t.Fatalf("[%s]: atomicMin lowering missing", cfg)
+		}
+	}
+}

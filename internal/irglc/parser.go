@@ -1,0 +1,387 @@
+package irglc
+
+import "fmt"
+
+// Parse lexes and parses a DSL program.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errorf(t Token, format string, args ...any) error {
+	return fmt.Errorf("irglc: %d:%d: %s", t.Line, t.Col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k Kind, what string) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, p.errorf(t, "expected %s, found %q", what, t.Text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) program() (*Program, error) {
+	if _, err := p.expect(KWProgram, "'program'"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT, "program name")
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Name: name.Text}
+	for p.cur().Kind != EOF {
+		switch p.cur().Kind {
+		case KWNode:
+			d, err := p.nodeDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Nodes = append(prog.Nodes, d)
+		case KWKernel:
+			k, err := p.kernel()
+			if err != nil {
+				return nil, err
+			}
+			prog.Kernels = append(prog.Kernels, k)
+		case KWHost:
+			if prog.Host != nil {
+				return nil, p.errorf(p.cur(), "duplicate host block")
+			}
+			p.pos++
+			b, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			prog.Host = b
+		default:
+			return nil, p.errorf(p.cur(), "expected node, kernel or host declaration")
+		}
+	}
+	if prog.Host == nil {
+		return nil, fmt.Errorf("irglc: program %s has no host block", prog.Name)
+	}
+	return prog, nil
+}
+
+func (p *parser) nodeDecl() (*NodeDecl, error) {
+	tok := p.next() // 'node'
+	name, err := p.expect(IDENT, "array name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Colon, "':'"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KWInt, "'int'"); err != nil {
+		return nil, err
+	}
+	d := &NodeDecl{Tok: tok, Name: name.Text}
+	if p.cur().Kind == OpAssign {
+		p.pos++
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	return d, nil
+}
+
+func (p *parser) kernel() (*Kernel, error) {
+	tok := p.next() // 'kernel'
+	name, err := p.expect(IDENT, "kernel name")
+	if err != nil {
+		return nil, err
+	}
+	b, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &Kernel{Tok: tok, Name: name.Text, Body: b}, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	if _, err := p.expect(LBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for p.cur().Kind != RBrace {
+		if p.cur().Kind == EOF {
+			return nil, p.errorf(p.cur(), "unterminated block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.pos++ // '}'
+	return b, nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	switch p.cur().Kind {
+	case KWLet:
+		tok := p.next()
+		name, err := p.expect(IDENT, "variable name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(OpAssign, "'='"); err != nil {
+			return nil, err
+		}
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return &Let{Tok: tok, Name: name.Text, Value: e}, nil
+	case KWIf:
+		tok := p.next()
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		st := &If{Tok: tok, Cond: cond, Then: then}
+		if p.cur().Kind == KWElse {
+			p.pos++
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+	case KWForall:
+		tok := p.next()
+		v, err := p.expect(IDENT, "loop variable")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(KWIn, "'in'"); err != nil {
+			return nil, err
+		}
+		var wl bool
+		switch p.cur().Kind {
+		case KWWorklist:
+			wl = true
+		case KWNodes:
+			wl = false
+		default:
+			return nil, p.errorf(p.cur(), "expected 'worklist' or 'nodes'")
+		}
+		p.pos++
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &Forall{Tok: tok, Var: v.Text, Worklist: wl, Body: body}, nil
+	case KWForeach:
+		tok := p.next()
+		if _, err := p.expect(LParen, "'('"); err != nil {
+			return nil, err
+		}
+		dst, err := p.expect(IDENT, "destination variable")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Comma, "','"); err != nil {
+			return nil, err
+		}
+		wv, err := p.expect(IDENT, "weight variable")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen, "')'"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(KWIn, "'in'"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(KWEdges, "'edges'"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(LParen, "'('"); err != nil {
+			return nil, err
+		}
+		node, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen, "')'"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &Foreach{Tok: tok, DstVar: dst.Text, WVar: wv.Text, Node: node, Body: body}, nil
+	case KWPush:
+		tok := p.next()
+		if _, err := p.expect(LParen, "'('"); err != nil {
+			return nil, err
+		}
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen, "')'"); err != nil {
+			return nil, err
+		}
+		return &Push{Tok: tok, Node: e}, nil
+	case KWIterate:
+		tok := p.next()
+		name, err := p.expect(IDENT, "kernel name")
+		if err != nil {
+			return nil, err
+		}
+		return &Iterate{Tok: tok, Kernel: name.Text}, nil
+	case IDENT:
+		// Assignment: lvalue '=' expr.
+		target, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		tok, err := p.expect(OpAssign, "'=' (only assignments may start with an identifier)")
+		if err != nil {
+			return nil, err
+		}
+		value, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		switch target.(type) {
+		case *Index, *Var:
+			return &Assign{Tok: tok, Target: target, Value: value}, nil
+		default:
+			return nil, p.errorf(tok, "cannot assign to this expression")
+		}
+	default:
+		return nil, p.errorf(p.cur(), "expected a statement, found %q", p.cur().Text)
+	}
+}
+
+// Expression parsing with precedence climbing.
+
+var binPrec = map[Kind]int{
+	OrOr:   1,
+	AndAnd: 2,
+	Eq:     3, Neq: 3,
+	Lt: 4, Leq: 4, Gt: 4, Geq: 4,
+	Plus: 5, Minus: 5,
+	Star: 6, Slash: 6, Percent: 6,
+}
+
+func (p *parser) expression() (Expr, error) { return p.binary(1) }
+
+func (p *parser) binary(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur()
+		prec, ok := binPrec[op.Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Tok: op, Op: op.Kind, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	switch p.cur().Kind {
+	case Not, Minus:
+		tok := p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Tok: tok, Op: tok.Kind, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case INT:
+		p.pos++
+		return &IntLit{Tok: t, Kind: INT, Val: t.Int}, nil
+	case KWInf, KWSrc, KWNumNodes:
+		p.pos++
+		return &IntLit{Tok: t, Kind: t.Kind}, nil
+	case LParen:
+		p.pos++
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case IDENT:
+		p.pos++
+		switch p.cur().Kind {
+		case LBracket:
+			p.pos++
+			at, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket, "']'"); err != nil {
+				return nil, err
+			}
+			return &Index{Tok: t, Array: t.Text, At: at}, nil
+		case LParen:
+			p.pos++
+			call := &Call{Tok: t, Name: t.Text}
+			for p.cur().Kind != RParen {
+				arg, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if p.cur().Kind == Comma {
+					p.pos++
+				} else {
+					break
+				}
+			}
+			if _, err := p.expect(RParen, "')'"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		default:
+			return &Var{Tok: t, Name: t.Text}, nil
+		}
+	default:
+		return nil, p.errorf(t, "expected an expression, found %q", t.Text)
+	}
+}

@@ -1,0 +1,88 @@
+package irglc
+
+// Sample DSL programs shipped with the compiler. BFSSource and
+// SSSPSource compile to traces identical to the hand-written bfs-wl and
+// sssp-wl applications (asserted by tests); CCSource matches cc-wl.
+
+// BFSSource is worklist breadth-first search.
+const BFSSource = `# breadth-first search, data-driven
+program bfs
+
+node dist: int = INF
+
+host {
+    dist[SRC] = 0
+    push(SRC)
+    iterate relax
+}
+
+kernel relax {
+    forall u in worklist {
+        let du = dist[u]
+        foreach (v, w) in edges(u) {
+            if atomicMin(dist[v], du + 1) {
+                push(v)
+            }
+        }
+    }
+}
+`
+
+// SSSPSource is worklist Bellman-Ford.
+const SSSPSource = `# single-source shortest paths, data-driven Bellman-Ford
+program sssp
+
+node dist: int = INF
+
+host {
+    dist[SRC] = 0
+    push(SRC)
+    iterate relax
+}
+
+kernel relax {
+    forall u in worklist {
+        let du = dist[u]
+        foreach (v, w) in edges(u) {
+            if atomicMin(dist[v], du + w) {
+                push(v)
+            }
+        }
+    }
+}
+`
+
+// CCSource is worklist label-propagation connected components.
+const CCSource = `# connected components by label propagation
+program cc
+
+node comp: int
+
+host {
+    forall u in nodes {
+        comp[u] = u
+        push(u)
+    }
+    iterate prop
+}
+
+kernel prop {
+    forall u in worklist {
+        let cu = comp[u]
+        foreach (v, w) in edges(u) {
+            if atomicMin(comp[v], cu) {
+                push(v)
+            }
+        }
+    }
+}
+`
+
+// Samples returns the shipped programs by name.
+func Samples() map[string]string {
+	return map[string]string{
+		"bfs":  BFSSource,
+		"sssp": SSSPSource,
+		"cc":   CCSource,
+	}
+}

@@ -1,0 +1,260 @@
+// Package irglc is a small compiler for an IrGL-like graph-algorithm
+// DSL - the missing "compiler" half of the study's system. The paper's
+// framework takes algorithms written in a DSL, applies the optimisation
+// space, and generates OpenCL; this package does the same in
+// miniature:
+//
+//   - a lexer, parser and semantic checker for the DSL (token.go,
+//     parser.go, check.go);
+//   - an interpreter that executes a compiled program on a graph
+//     through the instrumented irgl runtime, producing the same traces
+//     as the hand-written applications (interp.go) - equivalence is
+//     tested against internal/apps;
+//   - a code generator that emits OpenCL C for any optimisation
+//     configuration, making each transformation of Section V concrete:
+//     cooperative conversion, nested parallelism (wg / sg / fg),
+//     iteration outlining behind a portable global barrier, and the
+//     workgroup size switch (codegen.go).
+//
+// The DSL (see testdata in the package tests and cmd/irglc) looks like:
+//
+//	program bfs
+//	node dist: int = INF
+//	host {
+//	    dist[SRC] = 0
+//	    push(SRC)
+//	    iterate relax
+//	}
+//	kernel relax {
+//	    forall u in worklist {
+//	        foreach (v, w) in edges(u) {
+//	            if atomicMin(dist[v], dist[u] + 1) { push(v) }
+//	        }
+//	    }
+//	}
+package irglc
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+const (
+	EOF Kind = iota
+	IDENT
+	INT
+	// Keywords.
+	KWProgram
+	KWNode
+	KWKernel
+	KWHost
+	KWForall
+	KWForeach
+	KWIn
+	KWWorklist
+	KWNodes
+	KWEdges
+	KWIf
+	KWElse
+	KWPush
+	KWIterate
+	KWLet
+	KWInt
+	KWInf
+	KWSrc
+	KWNumNodes
+	// Punctuation and operators.
+	LBrace
+	RBrace
+	LParen
+	RParen
+	LBracket
+	RBracket
+	Comma
+	Colon
+	OpAssign
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Eq
+	Neq
+	Lt
+	Leq
+	Gt
+	Geq
+	AndAnd
+	OrOr
+	Not
+)
+
+var keywords = map[string]Kind{
+	"program":  KWProgram,
+	"node":     KWNode,
+	"kernel":   KWKernel,
+	"host":     KWHost,
+	"forall":   KWForall,
+	"foreach":  KWForeach,
+	"in":       KWIn,
+	"worklist": KWWorklist,
+	"nodes":    KWNodes,
+	"edges":    KWEdges,
+	"if":       KWIf,
+	"else":     KWElse,
+	"push":     KWPush,
+	"iterate":  KWIterate,
+	"let":      KWLet,
+	"int":      KWInt,
+	"INF":      KWInf,
+	"SRC":      KWSrc,
+	"NUMNODES": KWNumNodes,
+}
+
+// Token is one lexical unit with its source position.
+type Token struct {
+	Kind Kind
+	Text string
+	Int  int64
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Kind == IDENT || t.Kind == INT {
+		return fmt.Sprintf("%s@%d:%d", t.Text, t.Line, t.Col)
+	}
+	return fmt.Sprintf("%q@%d:%d", t.Text, t.Line, t.Col)
+}
+
+// Lex tokenises src. Comments run from '#' to end of line.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	emit := func(k Kind, text string, val int64) {
+		toks = append(toks, Token{Kind: k, Text: text, Int: val, Line: line, Col: col})
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			col = 1
+			i++
+			continue
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+			col++
+			continue
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+			continue
+		case c >= '0' && c <= '9':
+			j := i
+			var v int64
+			for j < n && src[j] >= '0' && src[j] <= '9' {
+				v = v*10 + int64(src[j]-'0')
+				j++
+			}
+			emit(INT, src[i:j], v)
+			col += j - i
+			i = j
+			continue
+		case isIdentStart(c):
+			j := i
+			for j < n && isIdentPart(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			if k, ok := keywords[word]; ok {
+				emit(k, word, 0)
+			} else {
+				emit(IDENT, word, 0)
+			}
+			col += j - i
+			i = j
+			continue
+		}
+
+		two := ""
+		if i+1 < n {
+			two = src[i : i+2]
+		}
+		switch two {
+		case "==":
+			emit(Eq, two, 0)
+		case "!=":
+			emit(Neq, two, 0)
+		case "<=":
+			emit(Leq, two, 0)
+		case ">=":
+			emit(Geq, two, 0)
+		case "&&":
+			emit(AndAnd, two, 0)
+		case "||":
+			emit(OrOr, two, 0)
+		default:
+			two = ""
+		}
+		if two != "" {
+			i += 2
+			col += 2
+			continue
+		}
+
+		var k Kind
+		switch c {
+		case '{':
+			k = LBrace
+		case '}':
+			k = RBrace
+		case '(':
+			k = LParen
+		case ')':
+			k = RParen
+		case '[':
+			k = LBracket
+		case ']':
+			k = RBracket
+		case ',':
+			k = Comma
+		case ':':
+			k = Colon
+		case '=':
+			k = OpAssign
+		case '+':
+			k = Plus
+		case '-':
+			k = Minus
+		case '*':
+			k = Star
+		case '/':
+			k = Slash
+		case '%':
+			k = Percent
+		case '<':
+			k = Lt
+		case '>':
+			k = Gt
+		case '!':
+			k = Not
+		default:
+			return nil, fmt.Errorf("irglc: %d:%d: unexpected character %q", line, col, c)
+		}
+		emit(k, string(c), 0)
+		i++
+		col++
+	}
+	toks = append(toks, Token{Kind: EOF, Text: "", Line: line, Col: col})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }

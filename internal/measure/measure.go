@@ -1,0 +1,161 @@
+// Package measure is the experiment harness: it runs every application
+// on every input once to obtain execution traces, then sweeps all
+// chips and optimisation configurations through the cost model, taking
+// several noisy timing samples per cell, and assembles the study
+// dataset.
+package measure
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"sync"
+
+	"gpuport/internal/apps"
+	"gpuport/internal/chip"
+	"gpuport/internal/cost"
+	"gpuport/internal/dataset"
+	"gpuport/internal/graph"
+	"gpuport/internal/opt"
+	"gpuport/internal/stats"
+)
+
+// Options configures a collection run.
+type Options struct {
+	// Seed drives the measurement noise streams. The same seed yields
+	// a bit-identical dataset regardless of iteration order.
+	Seed uint64
+	// Runs is the number of timed samples per cell (the paper: 3).
+	Runs int
+	// Chips, Apps, Inputs restrict the sweep; nil means all.
+	Chips  []chip.Chip
+	Apps   []apps.App
+	Inputs []*graph.Graph
+	// Progress, when non-nil, receives one line per (app, input) pair
+	// as traces are gathered.
+	Progress io.Writer
+	// Validate re-checks every application output against its
+	// reference implementation while tracing.
+	Validate bool
+}
+
+func (o *Options) fill() {
+	if o.Runs == 0 {
+		o.Runs = 3
+	}
+	if o.Chips == nil {
+		o.Chips = chip.All()
+	}
+	if o.Apps == nil {
+		o.Apps = apps.All()
+	}
+	if o.Inputs == nil {
+		o.Inputs = graph.StandardInputs()
+	}
+}
+
+// Collect produces the full dataset for the configured sweep. Cost
+// evaluation is parallelised across (chip, trace) pairs; the assembled
+// dataset is bit-identical regardless of parallelism because every
+// record is written to a pre-assigned slot and the per-cell noise
+// streams are keyed, not sequential.
+func Collect(o Options) (*dataset.Dataset, error) {
+	o.fill()
+	profiles, err := Traces(o)
+	if err != nil {
+		return nil, err
+	}
+	configs := opt.All()
+
+	type job struct{ chipIdx, traceIdx int }
+	jobs := make([]job, 0, len(o.Chips)*len(profiles))
+	for ci := range o.Chips {
+		for ti := range profiles {
+			jobs = append(jobs, job{ci, ti})
+		}
+	}
+	records := make([]dataset.Record, len(jobs)*len(configs))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ji := range next {
+				ch := o.Chips[jobs[ji].chipIdx]
+				tp := profiles[jobs[ji].traceIdx]
+				// Each goroutine owns a disjoint slice region; no locks
+				// are needed and the final order is deterministic.
+				out := records[ji*len(configs) : (ji+1)*len(configs)]
+				for k, cfg := range configs {
+					base := cost.Estimate(ch, cfg, tp)
+					out[k] = dataset.Record{
+						Key: dataset.Key{
+							Tuple:  dataset.Tuple{Chip: ch.Name, App: tp.App, Input: tp.Input},
+							Config: cfg,
+						},
+						Samples: samples(base, ch, cfg, tp.App, tp.Input, o),
+					}
+				}
+			}
+		}()
+	}
+	for ji := range jobs {
+		next <- ji
+	}
+	close(next)
+	wg.Wait()
+
+	d := dataset.New()
+	for i := range records {
+		d.Add(records[i])
+	}
+	return d, nil
+}
+
+// Traces runs every (application, input) pair once and returns the
+// cost-model profiles. Exposed separately so microbenchmarks and
+// examples can reuse traces without collecting a full dataset.
+func Traces(o Options) ([]*cost.TraceProfile, error) {
+	o.fill()
+	var out []*cost.TraceProfile
+	for _, in := range o.Inputs {
+		for _, app := range o.Apps {
+			tr, output := app.Run(in)
+			if o.Validate {
+				if err := app.Check(in, output); err != nil {
+					return nil, fmt.Errorf("measure: %s on %s failed validation: %w", app.Name, in.Name, err)
+				}
+			}
+			out = append(out, cost.NewTraceProfile(tr))
+			if o.Progress != nil {
+				fmt.Fprintf(o.Progress, "traced %s on %s: %d launches, %d edge work\n",
+					app.Name, in.Name, tr.TotalLaunches(), tr.TotalEdgeWork())
+			}
+		}
+	}
+	return out, nil
+}
+
+// samples draws o.Runs noisy timings around base. The noise stream is
+// keyed by (seed, chip, app, input, config) so each cell's samples are
+// independent of sweep order.
+func samples(base float64, ch chip.Chip, cfg opt.Config, app, input string, o Options) []float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%s|%s", o.Seed, ch.Name, app, input, cfg.String())
+	rng := stats.NewRNG(h.Sum64())
+	out := make([]float64, o.Runs)
+	for i := range out {
+		out[i] = base * rng.LogNormal(ch.NoiseSigma)
+	}
+	return out
+}

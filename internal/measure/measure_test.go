@@ -1,0 +1,182 @@
+package measure
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gpuport/internal/apps"
+	"gpuport/internal/chip"
+	"gpuport/internal/graph"
+	"gpuport/internal/irgl"
+	"gpuport/internal/opt"
+)
+
+// smallOptions restricts the sweep so tests run in milliseconds.
+func smallOptions() Options {
+	bfs, _ := apps.ByName("bfs-wl")
+	pr, _ := apps.ByName("pr-residual")
+	chips := chip.All()[:2]
+	return Options{
+		Seed:   7,
+		Runs:   3,
+		Chips:  chips,
+		Apps:   []apps.App{bfs, pr},
+		Inputs: []*graph.Graph{graph.GenerateUniform("m-rand", 600, 5, 9)},
+	}
+}
+
+func TestCollectShape(t *testing.T) {
+	d, err := Collect(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRecords := 2 * 2 * 1 * len(opt.All())
+	if d.Len() != wantRecords {
+		t.Errorf("records = %d, want %d", d.Len(), wantRecords)
+	}
+	if len(d.Tuples()) != 4 {
+		t.Errorf("tuples = %d, want 4", len(d.Tuples()))
+	}
+	for _, tp := range d.Tuples() {
+		for _, cfg := range opt.All() {
+			s := d.Samples(tp, cfg)
+			if len(s) != 3 {
+				t.Fatalf("%v/%v: %d samples", tp, cfg, len(s))
+			}
+			for _, v := range s {
+				if v <= 0 {
+					t.Fatalf("%v/%v: non-positive sample", tp, cfg)
+				}
+			}
+		}
+	}
+}
+
+func TestCollectDeterministic(t *testing.T) {
+	a, err := Collect(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Collect(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range a.Tuples() {
+		for _, cfg := range opt.All() {
+			sa, sb := a.Samples(tp, cfg), b.Samples(tp, cfg)
+			for i := range sa {
+				if sa[i] != sb[i] {
+					t.Fatalf("%v/%v sample %d differs: %v vs %v", tp, cfg, i, sa[i], sb[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSeedChangesNoiseNotScale(t *testing.T) {
+	o1 := smallOptions()
+	o2 := smallOptions()
+	o2.Seed = 99
+	a, _ := Collect(o1)
+	b, _ := Collect(o2)
+	same, diff := 0, 0
+	for _, tp := range a.Tuples() {
+		for _, cfg := range opt.All() {
+			sa, sb := a.Samples(tp, cfg), b.Samples(tp, cfg)
+			ma, mb := (sa[0]+sa[1]+sa[2])/3, (sb[0]+sb[1]+sb[2])/3
+			if sa[0] == sb[0] {
+				same++
+			} else {
+				diff++
+			}
+			// Means stay within the noise envelope of each other.
+			if ma/mb > 1.3 || mb/ma > 1.3 {
+				t.Fatalf("%v/%v: seeds changed scale %v vs %v", tp, cfg, ma, mb)
+			}
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical samples")
+	}
+	if same > diff/10 {
+		t.Errorf("suspiciously many identical samples across seeds: %d vs %d", same, diff)
+	}
+}
+
+func TestValidateOption(t *testing.T) {
+	o := smallOptions()
+	o.Validate = true
+	if _, err := Collect(o); err != nil {
+		t.Fatalf("validation should pass for correct apps: %v", err)
+	}
+}
+
+func TestProgressOutput(t *testing.T) {
+	o := smallOptions()
+	var buf bytes.Buffer
+	o.Progress = &buf
+	if _, err := Collect(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "traced bfs-wl on m-rand") {
+		t.Errorf("progress output missing trace lines: %q", out)
+	}
+}
+
+func TestTracesOnly(t *testing.T) {
+	o := smallOptions()
+	profiles, err := Traces(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 2 {
+		t.Fatalf("profiles = %d, want 2", len(profiles))
+	}
+	for _, p := range profiles {
+		if len(p.Launches) == 0 {
+			t.Errorf("%s: empty profile", p.App)
+		}
+	}
+}
+
+func TestDefaultsFill(t *testing.T) {
+	var o Options
+	o.fill()
+	if o.Runs != 3 || len(o.Chips) != 6 || len(o.Apps) != 17 || len(o.Inputs) != 3 {
+		t.Errorf("defaults = runs %d, %d chips, %d apps, %d inputs",
+			o.Runs, len(o.Chips), len(o.Apps), len(o.Inputs))
+	}
+}
+
+// TestValidateCatchesBrokenApp injects an application that computes a
+// wrong answer and checks the harness refuses to time it.
+func TestValidateCatchesBrokenApp(t *testing.T) {
+	broken := apps.App{
+		Name:    "bfs-broken",
+		Problem: "BFS",
+		Run: func(g *graph.Graph) (*irgl.Trace, any) {
+			rt := irgl.NewRuntime("bfs-broken", g)
+			k := rt.Launch("noop")
+			k.ForAllNodes(func(it *irgl.Item, u int32) {})
+			k.End()
+			// All-zero distances: wrong for any graph with >1 node.
+			return rt.Trace(), make([]int32, g.NumNodes())
+		},
+	}
+	real, _ := apps.ByName("bfs-wl")
+	broken.Check = real.Check
+
+	o := smallOptions()
+	o.Apps = []apps.App{broken}
+	o.Validate = true
+	if _, err := Collect(o); err == nil {
+		t.Fatal("harness accepted a wrong answer")
+	}
+	// Without validation the harness times whatever it is given.
+	o.Validate = false
+	if _, err := Collect(o); err != nil {
+		t.Fatalf("unvalidated collection should proceed: %v", err)
+	}
+}

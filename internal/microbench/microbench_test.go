@@ -1,0 +1,116 @@
+package microbench
+
+import (
+	"testing"
+
+	"gpuport/internal/chip"
+)
+
+func factors(t *testing.T) (map[string]float64, map[string]float64) {
+	t.Helper()
+	sgcmb, mdivg := TableX(chip.All())
+	a := map[string]float64{}
+	b := map[string]float64{}
+	for _, s := range sgcmb {
+		a[s.Chip] = s.Factor
+	}
+	for _, s := range mdivg {
+		b[s.Chip] = s.Factor
+	}
+	return a, b
+}
+
+// TestSGCmbMatchesPaper checks the Table X sg-cmb row: large combining
+// wins only on R9 (~22x) and IRIS (~8x); roughly neutral-to-slightly-
+// negative elsewhere (Nvidia/HD5500 JITs already combine; MALI has no
+// subgroups).
+func TestSGCmbMatchesPaper(t *testing.T) {
+	sgcmb, _ := factors(t)
+	if v := sgcmb[chip.R9]; v < 15 || v > 30 {
+		t.Errorf("R9 sg-cmb = %v, want ~22x", v)
+	}
+	if v := sgcmb[chip.IRIS]; v < 5 || v > 12 {
+		t.Errorf("IRIS sg-cmb = %v, want ~8x", v)
+	}
+	for _, name := range []string{chip.M4000, chip.GTX1080, chip.HD5500, chip.MALI} {
+		if v := sgcmb[name]; v < 0.5 || v > 1.3 {
+			t.Errorf("%s sg-cmb = %v, want no speedup (~0.75-1.0)", name, v)
+		}
+	}
+}
+
+// TestMDivgMatchesPaper checks the Table X m-divg row: every chip
+// benefits from the gratuitous barrier, MALI spectacularly (~6.45x).
+func TestMDivgMatchesPaper(t *testing.T) {
+	_, mdivg := factors(t)
+	if v := mdivg[chip.MALI]; v < 4.5 || v > 8.5 {
+		t.Errorf("MALI m-divg = %v, want ~6.45x", v)
+	}
+	for _, name := range []string{chip.M4000, chip.GTX1080, chip.HD5500, chip.IRIS, chip.R9} {
+		v := mdivg[name]
+		if v < 1.0 || v > 2.5 {
+			t.Errorf("%s m-divg = %v, want a mild benefit (1.0-2.5x)", name, v)
+		}
+		if v > mdivg[chip.MALI]/2 {
+			t.Errorf("%s m-divg %v should be far below MALI's %v", name, v, mdivg[chip.MALI])
+		}
+	}
+}
+
+func TestSGCombineConsistency(t *testing.T) {
+	for _, ch := range chip.All() {
+		s := SGCombine(ch, SGCmbN)
+		if s.Base <= 0 || s.Optimised <= 0 {
+			t.Errorf("%s: non-positive times %v/%v", ch.Name, s.Base, s.Optimised)
+		}
+		if got := s.Base / s.Optimised; got != s.Factor {
+			t.Errorf("%s: factor inconsistent", ch.Name)
+		}
+	}
+}
+
+func TestUtilisationProperties(t *testing.T) {
+	sweep := Figure5Sweep()
+	for _, ch := range chip.All() {
+		points := LaunchOverhead(ch, sweep)
+		if len(points) != len(sweep) {
+			t.Fatalf("%s: %d points for %d durations", ch.Name, len(points), len(sweep))
+		}
+		prev := -1.0
+		for _, p := range points {
+			if p.Utilisation <= 0 || p.Utilisation >= 1 {
+				t.Errorf("%s: utilisation %v out of (0,1)", ch.Name, p.Utilisation)
+			}
+			if p.Utilisation <= prev {
+				t.Errorf("%s: utilisation not increasing with kernel time", ch.Name)
+			}
+			prev = p.Utilisation
+		}
+	}
+}
+
+// TestFigure5Ordering: at every kernel duration Nvidia shows the
+// highest utilisation and MALI the lowest (the paper's explanation for
+// oitergb's absence on Nvidia).
+func TestFigure5Ordering(t *testing.T) {
+	sweep := Figure5Sweep()
+	util := map[string][]UtilisationPoint{}
+	for _, ch := range chip.All() {
+		util[ch.Name] = LaunchOverhead(ch, sweep)
+	}
+	for i := range sweep {
+		for _, name := range []string{chip.HD5500, chip.IRIS, chip.R9, chip.MALI} {
+			if util[name][i].Utilisation >= util[chip.GTX1080][i].Utilisation {
+				t.Errorf("at %vns, %s utilisation >= GTX1080", sweep[i], name)
+			}
+			if util[name][i].Utilisation >= util[chip.M4000][i].Utilisation {
+				t.Errorf("at %vns, %s utilisation >= M4000", sweep[i], name)
+			}
+		}
+		for _, name := range []string{chip.M4000, chip.GTX1080, chip.HD5500, chip.IRIS, chip.R9} {
+			if util[chip.MALI][i].Utilisation >= util[name][i].Utilisation {
+				t.Errorf("at %vns, MALI utilisation >= %s", sweep[i], name)
+			}
+		}
+	}
+}

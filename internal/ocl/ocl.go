@@ -1,0 +1,274 @@
+// Package ocl is a small lockstep work-item simulator of the OpenCL
+// execution hierarchy (Section IV of the paper): work-items grouped
+// into subgroups, subgroups into workgroups, workgroups scheduled onto
+// compute units. It executes micro-kernels - per-lane memory access
+// sequences - round by round, modelling:
+//
+//   - caching: each workgroup sees a per-CU cache of limited line
+//     capacity with LRU replacement; hits cost the chip's local-access
+//     latency, misses a full line transaction;
+//   - intra-workgroup drift: subgroups of a workgroup advance through
+//     loops at different rates unless barriers re-align them, widening
+//     the access window until it overflows the cache (the memory-
+//     divergence effect of Section VIII-c that devastates MALI);
+//   - atomic serialisation and subgroup combining: same-address atomics
+//     from one subgroup round serialise unless combined, either by
+//     coop-cv-style staging or by a JIT that combines automatically;
+//   - barrier costs at workgroup granularity.
+//
+// The main study's cost model (internal/cost) works at trace level; this
+// package exists so the paper's microbenchmarks (Table X, Figure 5) run
+// as actual kernels over the simulated hierarchy rather than as closed-
+// form formulas.
+package ocl
+
+import (
+	"gpuport/internal/chip"
+)
+
+// LineBytes is the modelled cache-line / memory transaction size.
+const LineBytes = 64
+
+// ElemBytes is the access granularity (32-bit elements).
+const ElemBytes = 4
+
+// stagingCostFactor scales the local-memory traffic of explicit
+// coop-cv-style combining (one staging write per push).
+const stagingCostFactor = 0.10
+
+// Access is one memory operation by one lane in one round.
+type Access struct {
+	// Addr is the element index accessed (scaled by ElemBytes for
+	// line grouping). Negative means "no access this round".
+	Addr int64
+	// Atomic marks a global atomic RMW.
+	Atomic bool
+}
+
+// NoAccess is the idle-round marker.
+var NoAccess = Access{Addr: -1}
+
+// Kernel describes a micro-kernel: every lane executes Rounds rounds,
+// and At reports the access lane performs in a given logical round.
+type Kernel struct {
+	// Name labels the kernel in reports.
+	Name string
+	// Items is the global work size.
+	Items int
+	// Rounds is the per-lane loop trip count.
+	Rounds int
+	// At returns the access of global lane `lane` in its logical round
+	// `round`.
+	At func(lane, round int) Access
+	// BarrierEvery inserts a workgroup barrier every N logical rounds,
+	// re-aligning subgroup drift; 0 means no barriers (subgroups drift
+	// freely).
+	BarrierEvery int
+	// CombineAtomics enables coop-cv style subgroup combining of
+	// same-address atomics in the kernel code itself.
+	CombineAtomics bool
+}
+
+// Result is the simulated execution outcome.
+type Result struct {
+	// TimeNS is the modelled execution time, excluding launch costs.
+	TimeNS float64
+	// Hits and Misses count cache outcomes of plain accesses.
+	Hits, Misses int64
+	// Atomics counts atomic operations issued after combining.
+	Atomics int64
+	// CombinedAtomics counts atomics elided by combining.
+	CombinedAtomics int64
+	// Barriers counts workgroup barriers executed.
+	Barriers int64
+}
+
+// Device runs micro-kernels against a chip model.
+type Device struct {
+	Chip chip.Chip
+	// WorkgroupSize defaults to 128.
+	WorkgroupSize int
+}
+
+// lru is a tiny exact-LRU cache of memory lines.
+type lru struct {
+	cap   int
+	tick  int64
+	lines map[int64]int64 // line -> last use tick
+}
+
+func newLRU(capacity int) *lru {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru{cap: capacity, lines: make(map[int64]int64, capacity+1)}
+}
+
+// touch returns true on a hit; on a miss the line is inserted, evicting
+// the least recently used line if needed.
+func (c *lru) touch(line int64) bool {
+	c.tick++
+	if _, ok := c.lines[line]; ok {
+		c.lines[line] = c.tick
+		return true
+	}
+	if len(c.lines) >= c.cap {
+		var oldest int64
+		var oldestTick int64 = 1 << 62
+		for l, t := range c.lines {
+			if t < oldestTick {
+				oldest, oldestTick = l, t
+			}
+		}
+		delete(c.lines, oldest)
+	}
+	c.lines[line] = c.tick
+	return false
+}
+
+// driftOf returns the execution offset (in rounds) of a subgroup within
+// its workgroup when no barrier re-aligns them. Hardware schedules
+// subgroups independently; the more independent entities share a CU,
+// the wider the drift window. Subgroup k runs k rounds behind the
+// leader, capped at half the loop length.
+func (d *Device) driftOf(subgroup, rounds int) int {
+	if rounds <= 1 {
+		return 0
+	}
+	max := rounds / 2
+	if subgroup < max {
+		return subgroup
+	}
+	return max
+}
+
+// Run simulates the kernel and returns its result.
+func (d *Device) Run(k Kernel) Result {
+	wg := d.WorkgroupSize
+	if wg <= 0 {
+		wg = 128
+	}
+	if wg > d.Chip.MaxWorkgroup {
+		wg = d.Chip.MaxWorkgroup
+	}
+	sg := d.Chip.SubgroupSize
+	if sg < 1 {
+		sg = 1
+	}
+	if sg > wg {
+		sg = wg
+	}
+	var res Result
+
+	numWGs := (k.Items + wg - 1) / wg
+	// Combining factor: explicit (coop-cv) or JIT-automatic. A factor
+	// at or below one means combining degenerates to plain atomics
+	// (MALI's subgroup size of 1).
+	combineFactor := 1.0
+	if k.CombineAtomics || d.Chip.JITCombinesAtomics {
+		if f := float64(sg) * d.Chip.CombineEfficiency; f > 1 {
+			combineFactor = f
+		}
+	}
+
+	atomicAddrs := map[int64]int{}
+
+	for wgID := 0; wgID < numWGs; wgID++ {
+		base := wgID * wg
+		lanesInWG := k.Items - base
+		if lanesInWG > wg {
+			lanesInWG = wg
+		}
+		subgroups := (lanesInWG + sg - 1) / sg
+		cache := newLRU(d.Chip.CacheLinesPerCU)
+
+		maxDrift := 0
+		if k.BarrierEvery == 0 {
+			for s := 0; s < subgroups; s++ {
+				if dr := d.driftOf(s, k.Rounds); dr > maxDrift {
+					maxDrift = dr
+				}
+			}
+		}
+		physRounds := k.Rounds + maxDrift
+
+		for pr := 0; pr < physRounds; pr++ {
+			for a := range atomicAddrs {
+				delete(atomicAddrs, a)
+			}
+			for s := 0; s < subgroups; s++ {
+				drift := 0
+				if k.BarrierEvery == 0 {
+					drift = d.driftOf(s, k.Rounds)
+				}
+				logical := pr - drift
+				if logical < 0 || logical >= k.Rounds {
+					continue
+				}
+				laneLo := s * sg
+				laneHi := laneLo + sg
+				if laneHi > lanesInWG {
+					laneHi = lanesInWG
+				}
+				for l := laneLo; l < laneHi; l++ {
+					acc := k.At(base+l, logical)
+					if acc.Addr < 0 {
+						continue
+					}
+					if acc.Atomic {
+						atomicAddrs[acc.Addr]++
+						continue
+					}
+					line := acc.Addr * ElemBytes / LineBytes
+					if cache.touch(line) {
+						res.Hits++
+						res.TimeNS += d.Chip.LocalMemNS
+					} else {
+						res.Misses++
+						res.TimeNS += d.Chip.LineFetchNS
+					}
+				}
+			}
+
+			// Atomics: same-address atomics combine by the subgroup
+			// factor; distinct addresses serialise on the RMW unit.
+			for _, count := range atomicAddrs {
+				groups := int(float64(count)/combineFactor + 0.9999)
+				if groups < 1 {
+					groups = 1
+				}
+				if groups >= count {
+					groups = count
+				}
+				res.Atomics += int64(groups)
+				res.CombinedAtomics += int64(count - groups)
+				res.TimeNS += float64(groups) * d.Chip.AtomicNS
+				if k.CombineAtomics && combineFactor > 1 {
+					// Explicit combining stages values through local
+					// memory and subgroup barriers.
+					res.TimeNS += float64(count) * d.Chip.LocalMemNS * stagingCostFactor
+					sgCount := (count + sg - 1) / sg
+					res.TimeNS += float64(2*sgCount) * d.Chip.SubgroupBarrierNS
+				}
+			}
+
+			// Barriers re-align the workgroup.
+			if k.BarrierEvery > 0 && (pr+1)%k.BarrierEvery == 0 {
+				res.Barriers++
+				res.TimeNS += d.Chip.WorkgroupBarrierNS
+			}
+		}
+	}
+
+	// The loop above accumulated time as if workgroups ran back to
+	// back; compute units execute them concurrently, so divide by the
+	// achieved parallelism (capped by the number of workgroups).
+	parallel := numWGs
+	if parallel > d.Chip.CUs {
+		parallel = d.Chip.CUs
+	}
+	if parallel > 1 {
+		res.TimeNS /= float64(parallel)
+	}
+	return res
+}

@@ -1,0 +1,271 @@
+// Package opt defines the study's optimisation space (Section V of the
+// paper): cooperative conversion (coop-cv), nested parallelism at
+// subgroup (sg), workgroup (wg) and fine-grained (fg1 / fg8)
+// granularity, iteration outlining via a global barrier (oitergb), and
+// the workgroup size switch (sz256).
+//
+// All optimisations are independent binaries except fg, which is
+// three-valued (off / 1 edge / 8 edges per scheduling step), giving
+// 2^5 * 3 = 96 configurations: 95 optimisation combinations plus the
+// all-off baseline.
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FG selects the fine-grained nested parallelism granularity.
+type FG uint8
+
+const (
+	// FGOff disables fine-grained load balancing.
+	FGOff FG = iota
+	// FG1 processes one edge per scheduling step.
+	FG1
+	// FG8 processes eight edges per scheduling step.
+	FG8
+)
+
+// Config is one point in the optimisation space. The zero value is the
+// baseline (everything off, workgroup size 128).
+type Config struct {
+	// CoopCV aggregates worklist push atomics within a subgroup.
+	CoopCV bool
+	// SG redistributes inner-loop work across the subgroup.
+	SG bool
+	// WG redistributes inner-loop work across the workgroup.
+	WG bool
+	// FG linearises the inner iteration space at the given granularity.
+	FG FG
+	// OiterGB outlines host fixpoint loops onto the device behind a
+	// portable global barrier.
+	OiterGB bool
+	// SZ256 raises the workgroup size from 128 to 256.
+	SZ256 bool
+}
+
+// WorkgroupSize returns the workgroup size the config selects.
+func (c Config) WorkgroupSize() int {
+	if c.SZ256 {
+		return 256
+	}
+	return 128
+}
+
+// IsBaseline reports whether every optimisation is disabled.
+func (c Config) IsBaseline() bool { return c == Config{} }
+
+// Flag identifies one binary optimisation as the analysis sees it: fg1
+// and fg8 are separate, mutually exclusive flags (Section III).
+type Flag uint8
+
+const (
+	FlagCoopCV Flag = iota
+	FlagSG
+	FlagWG
+	FlagFG1
+	FlagFG8
+	FlagOiterGB
+	FlagSZ256
+	numFlags
+)
+
+// Flags returns all analysis flags in canonical order.
+func Flags() []Flag {
+	return []Flag{FlagCoopCV, FlagSG, FlagWG, FlagFG1, FlagFG8, FlagOiterGB, FlagSZ256}
+}
+
+// String returns the paper's name for the flag.
+func (f Flag) String() string {
+	switch f {
+	case FlagCoopCV:
+		return "coop-cv"
+	case FlagSG:
+		return "sg"
+	case FlagWG:
+		return "wg"
+	case FlagFG1:
+		return "fg"
+	case FlagFG8:
+		return "fg8"
+	case FlagOiterGB:
+		return "oitergb"
+	case FlagSZ256:
+		return "sz256"
+	default:
+		return fmt.Sprintf("flag(%d)", uint8(f))
+	}
+}
+
+// ParseFlag inverts Flag.String.
+func ParseFlag(s string) (Flag, error) {
+	for _, f := range Flags() {
+		if f.String() == s {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("opt: unknown flag %q", s)
+}
+
+// Has reports whether the config enables the flag.
+func (c Config) Has(f Flag) bool {
+	switch f {
+	case FlagCoopCV:
+		return c.CoopCV
+	case FlagSG:
+		return c.SG
+	case FlagWG:
+		return c.WG
+	case FlagFG1:
+		return c.FG == FG1
+	case FlagFG8:
+		return c.FG == FG8
+	case FlagOiterGB:
+		return c.OiterGB
+	case FlagSZ256:
+		return c.SZ256
+	default:
+		return false
+	}
+}
+
+// With returns a copy of c with flag f set to enabled. Enabling fg1
+// displaces fg8 and vice versa; disabling either sets FG off (the
+// "mirror setting" construction of Algorithm 1, line 12).
+func (c Config) With(f Flag, enabled bool) Config {
+	switch f {
+	case FlagCoopCV:
+		c.CoopCV = enabled
+	case FlagSG:
+		c.SG = enabled
+	case FlagWG:
+		c.WG = enabled
+	case FlagFG1:
+		if enabled {
+			c.FG = FG1
+		} else if c.FG == FG1 {
+			c.FG = FGOff
+		}
+	case FlagFG8:
+		if enabled {
+			c.FG = FG8
+		} else if c.FG == FG8 {
+			c.FG = FGOff
+		}
+	case FlagOiterGB:
+		c.OiterGB = enabled
+	case FlagSZ256:
+		c.SZ256 = enabled
+	}
+	return c
+}
+
+// EnabledFlags returns the flags c enables, in canonical order.
+func (c Config) EnabledFlags() []Flag {
+	var out []Flag
+	for _, f := range Flags() {
+		if c.Has(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// FromFlags builds a Config enabling exactly the given flags. If both
+// fg1 and fg8 are present, fg8 wins (the coarser granularity is the
+// paper's default recommendation when both test positive).
+func FromFlags(flags []Flag) Config {
+	var c Config
+	for _, f := range flags {
+		if f == FlagFG1 && c.FG == FG8 {
+			continue
+		}
+		c = c.With(f, true)
+	}
+	return c
+}
+
+// String renders the config as the paper writes it: a comma-separated
+// flag list, or "baseline".
+func (c Config) String() string {
+	flags := c.EnabledFlags()
+	if len(flags) == 0 {
+		return "baseline"
+	}
+	parts := make([]string, len(flags))
+	for i, f := range flags {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Parse inverts String.
+func Parse(s string) (Config, error) {
+	if s == "baseline" || s == "" {
+		return Config{}, nil
+	}
+	var c Config
+	for _, part := range strings.Split(s, ",") {
+		f, err := ParseFlag(strings.TrimSpace(part))
+		if err != nil {
+			return Config{}, err
+		}
+		if (f == FlagFG1 && c.FG == FG8) || (f == FlagFG8 && c.FG == FG1) {
+			return Config{}, fmt.Errorf("opt: %q enables both fg variants", s)
+		}
+		c = c.With(f, true)
+	}
+	return c, nil
+}
+
+// All returns all 96 configurations (baseline first) in a deterministic
+// order: by number of enabled flags, then lexicographically by name.
+func All() []Config {
+	var out []Config
+	for _, fg := range []FG{FGOff, FG1, FG8} {
+		for bits := 0; bits < 32; bits++ {
+			out = append(out, Config{
+				CoopCV:  bits&1 != 0,
+				SG:      bits&2 != 0,
+				WG:      bits&4 != 0,
+				FG:      fg,
+				OiterGB: bits&8 != 0,
+				SZ256:   bits&16 != 0,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ni, nj := len(out[i].EnabledFlags()), len(out[j].EnabledFlags())
+		if ni != nj {
+			return ni < nj
+		}
+		return out[i].String() < out[j].String()
+	})
+	return out
+}
+
+// NonBaseline returns the 95 optimisation combinations.
+func NonBaseline() []Config {
+	all := All()
+	out := make([]Config, 0, len(all)-1)
+	for _, c := range all {
+		if !c.IsBaseline() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// SettingsWith returns every configuration that enables flag f
+// (ALL_OPT_SETTINGS of Algorithm 1, line 11).
+func SettingsWith(f Flag) []Config {
+	var out []Config
+	for _, c := range All() {
+		if c.Has(f) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"gpuport/internal/analysis"
+)
+
+// SamplingCurve renders the Section IX subsampling experiment: how much
+// of the full-data recommendation survives at each sampling rate.
+func SamplingCurve(w io.Writer, dims analysis.Dims, pts []analysis.SamplingPoint) {
+	t := NewTable(
+		fmt.Sprintf("Sampling sufficiency for the %s specialisation", dims.Name()),
+		"Sample", "Trials", "Mean agree", "Min agree", "Undecided", "bar").
+		RightAlign(0, 1, 2, 3, 4)
+	for _, p := range pts {
+		t.Row(
+			F(p.Fraction*100, 0)+"%",
+			p.Trials,
+			F(p.MeanAgreement*100, 1)+"%",
+			F(p.MinAgreement*100, 1)+"%",
+			F(p.MeanUndecided*100, 1)+"%",
+			Bar(p.MeanAgreement, 30),
+		)
+	}
+	t.Render(w)
+}
+
+// CrossValidation renders the leave-one-out prediction experiment.
+func CrossValidation(w io.Writer, dim string, results []analysis.LOOResult) {
+	t := NewTable(
+		fmt.Sprintf("Leave-one-%s-out prediction (strategy never saw the held-out %s)", dim, dim),
+		"Held out", "Tests", "Speedups", "Slowdowns", "vs oracle", "vs baseline").
+		RightAlign(1, 2, 3, 4, 5)
+	for _, r := range results {
+		t.Row(r.Held, r.TestCount, r.Eval.Speedups, r.Eval.Slowdowns,
+			F(r.Eval.GeoMeanSlowdownVsOracle, 2)+"x",
+			F(r.Eval.GeoMeanVsBaseline, 2)+"x")
+	}
+	t.Render(w)
+}

@@ -1,0 +1,262 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"gpuport/internal/analysis"
+	"gpuport/internal/apps"
+	"gpuport/internal/chip"
+	"gpuport/internal/dataset"
+	"gpuport/internal/graph"
+	"gpuport/internal/opt"
+)
+
+// Chips renders Table I: the GPUs of the study.
+func Chips(w io.Writer, chips []chip.Chip) {
+	t := NewTable("Table I: GPUs of the study", "Vendor", "Chip", "Arch", "OS", "#CUs", "SG size", "Short name").
+		RightAlign(4, 5)
+	for _, c := range chips {
+		t.Row(c.Vendor, c.Name, c.Arch, c.OS, c.CUs, c.SubgroupSize, c.Name)
+	}
+	t.Render(w)
+}
+
+// Extremes renders Table II: top speedups and slowdowns per chip.
+func Extremes(w io.Writer, ex []analysis.Extreme) {
+	t := NewTable("Table II: extreme optimisation effects per chip",
+		"Chip", "Max speedup", "App", "Input", "Max slowdown", "App", "Input").
+		RightAlign(1, 4)
+	for _, e := range ex {
+		t.Row(e.Chip,
+			F(e.MaxSpeedup, 2)+"x", e.SpeedupApp, e.SpeedupInput,
+			F(e.MaxSlowdown, 2)+"x", e.SlowdownApp, e.SlowdownInput)
+	}
+	t.Render(w)
+}
+
+// ConfigRanks renders Table III: the global configuration ranking. It
+// shows the top, two middle rows (including the max-geomean pick), and
+// the bottom, like the paper.
+func ConfigRanks(w io.Writer, ranks []analysis.ConfigRank, chosen analysis.ConfigRank, tests int) {
+	t := NewTable(
+		fmt.Sprintf("Table III: optimisation combinations ranked by slowdowns (out of %d tests)", tests),
+		"Rank", "Enabled opts", "Slowdowns", "Speedups", "Geomean").
+		RightAlign(0, 2, 3, 4)
+	maxGeo := analysis.MaxGeoMeanConfig(ranks)
+	show := map[int]bool{}
+	for i := 0; i < 5 && i < len(ranks); i++ {
+		show[i] = true
+	}
+	for i := len(ranks) - 5; i < len(ranks); i++ {
+		if i >= 0 {
+			show[i] = true
+		}
+	}
+	show[maxGeo.Rank] = true
+	show[chosen.Rank] = true
+	prev := -1
+	for i, r := range ranks {
+		if !show[i] {
+			continue
+		}
+		if prev >= 0 && i != prev+1 {
+			t.Separator()
+		}
+		prev = i
+		mark := ""
+		if i == maxGeo.Rank {
+			mark = "  <- max geomean"
+		}
+		if i == chosen.Rank {
+			mark = "  <- our analysis (global strategy)"
+		}
+		t.Row(r.Rank, r.Config.String()+mark, r.Slowdowns, r.Speedups, F(r.GeoMean, 2))
+	}
+	t.Render(w)
+}
+
+// ChipCounts renders Table IV: per-chip outcome counts for the two
+// contrasted configurations.
+func ChipCounts(w io.Writer, maxGeo opt.Config, a []analysis.ChipCounts, ours opt.Config, b []analysis.ChipCounts) {
+	t := NewTable("Table IV: per-chip bias of policy choices",
+		"Chip",
+		"speedups", "slowdowns", "max",
+		"| speedups", "slowdowns", "max").
+		RightAlign(1, 2, 3, 4, 5, 6)
+	fmt.Fprintf(w, "left: max-geomean pick [%s]   right: rank-based pick [%s]\n", maxGeo, ours)
+	for i := range a {
+		t.Row(a[i].Chip,
+			a[i].Speedups, a[i].Slowdowns, F(a[i].MaxSpeedup, 2)+"x",
+			fmt.Sprintf("| %d", b[i].Speedups), b[i].Slowdowns, F(b[i].MaxSpeedup, 2)+"x")
+	}
+	t.Render(w)
+}
+
+// Strategies renders Table V: the strategy functions by specialisation.
+func Strategies(w io.Writer) {
+	t := NewTable("Table V: optimisation strategies (Table V)", "Strategy", "Specialises on", "Definition")
+	t.Row("baseline", "-", "all optimisations disabled")
+	t.Row("global", "-", "flags passing the MWU test over the whole dataset")
+	for _, d := range analysis.AllDims() {
+		if d.Count() == 0 {
+			continue
+		}
+		t.Row(d.Name(), d.Name(), "flags passing the MWU test per "+d.Name()+" partition")
+	}
+	t.Row("oracle", "chip, app, input", "empirically best configuration per test")
+	t.Render(w)
+}
+
+// OptSummary renders Table VI: optimisations and the performance
+// parameters that govern them.
+func OptSummary(w io.Writer) {
+	t := NewTable("Table VI: optimisations and their performance parameters", "Optimisation", "Performance parameters")
+	t.Row("coop-cv", "workgroup/subgroup size, atomic RMW throughput, subgroup collectives")
+	t.Row("fg (1|8)", "local memory, workgroup barriers, scheduling overhead, coalescing")
+	t.Row("sg", "subgroup size, subgroup-barrier throughput, local memory")
+	t.Row("wg", "workgroup size, local memory, workgroup-barrier throughput")
+	t.Row("oitergb", "kernel launch + copy overhead, global synchronisation, occupancy")
+	t.Row("sz256", "occupancy, workgroup-local resource limits")
+	t.Render(w)
+}
+
+// Apps renders Table VII: the applications.
+func Apps(w io.Writer, as []apps.App) {
+	t := NewTable("Table VII: graph applications", "Problem", "Application", "Variant", "Fastest")
+	for _, a := range as {
+		mark := ""
+		if a.Fastest {
+			mark = "(*)"
+		}
+		t.Row(a.Problem, a.Name, a.Variant, mark)
+	}
+	t.Render(w)
+}
+
+// Inputs renders Table VIII: the inputs with their structural
+// properties.
+func Inputs(w io.Writer, props []graph.Properties) {
+	t := NewTable("Table VIII: graph inputs",
+		"Input", "Class", "Nodes", "Edges", "Mean deg", "Max deg", "Deg CV", "~Diameter").
+		RightAlign(2, 3, 4, 5, 6, 7)
+	for _, p := range props {
+		t.Row(p.Name, p.Class, p.Nodes, p.Edges, F(p.MeanDegree, 1), p.MaxDegree, F(p.DegreeCV, 2), p.ApproxDiam)
+	}
+	t.Render(w)
+}
+
+// ChipRecommendations renders Table IX: the per-chip flag decisions
+// with common-language effect sizes.
+func ChipRecommendations(w io.Writer, spec *analysis.Specialisation) {
+	flags := opt.Flags()
+	header := []string{"Chip"}
+	for _, f := range flags {
+		header = append(header, f.String())
+	}
+	t := NewTable("Table IX: chip-specialised recommendations (mark / CL effect size)", header...)
+	for _, p := range spec.Partitions {
+		row := []any{p.Key.Chip}
+		for _, dec := range p.Decisions {
+			mark := "x"
+			if dec.Enabled {
+				mark = "Y"
+			}
+			if !dec.Confident {
+				mark = "?"
+			}
+			row = append(row, fmt.Sprintf("%s .%02.0f", mark, dec.CL*100))
+		}
+		t.Row(row...)
+	}
+	fmt.Fprintln(w, "Y = enable, x = do not enable, ? = not enough significant samples (p >= .05)")
+	t.Render(w)
+}
+
+// Heatmap renders Figure 1: cross-chip portability of chip-optimal
+// configurations.
+func Heatmap(w io.Writer, h *analysis.Heatmap) {
+	header := []string{"run on \\ opts for"}
+	header = append(header, h.Cols...)
+	header = append(header, "| row geomean")
+	t := NewTable("Figure 1: geomean slowdown from porting chip-optimal settings", header...).
+		RightAlign(1, 2, 3, 4, 5, 6, 7)
+	for i, r := range h.Rows {
+		row := []any{r}
+		for j := range h.Cols {
+			row = append(row, F(h.Cell[i][j], 2))
+		}
+		row = append(row, "| "+F(h.RowMean[i], 2))
+		t.Row(row...)
+	}
+	t.Separator()
+	colRow := []any{"col geomean"}
+	for j := range h.Cols {
+		colRow = append(colRow, F(h.ColMean[j], 2))
+	}
+	colRow = append(colRow, "|")
+	t.Row(colRow...)
+	off := []any{"off-diagonal"}
+	for j := range h.Cols {
+		off = append(off, F(h.ColMeanOffDiag[j], 2))
+	}
+	off = append(off, "|")
+	t.Row(off...)
+	t.Render(w)
+}
+
+// FlagFrequencies renders Figure 2: optimisations required for top
+// speedups, per chip.
+func FlagFrequencies(w io.Writer, ffs []analysis.FlagFrequency) {
+	flags := opt.Flags()
+	header := []string{"Chip", "tests"}
+	for _, f := range flags {
+		header = append(header, f.String())
+	}
+	t := NewTable("Figure 2: optimisations in per-test optimal configs (count per chip)", header...).
+		RightAlign(1, 2, 3, 4, 5, 6, 7, 8)
+	for _, ff := range ffs {
+		row := []any{ff.Chip, ff.Tests}
+		for _, f := range flags {
+			row = append(row, ff.Count[f])
+		}
+		t.Row(row...)
+	}
+	t.Render(w)
+}
+
+// StrategyOutcomes renders Figure 3: percentage of tests with
+// speedups / no change / slowdowns per strategy.
+func StrategyOutcomes(w io.Writer, evals []analysis.StrategyEval, excluded int) {
+	t := NewTable(
+		fmt.Sprintf("Figure 3: outcomes per strategy (%d non-improvable tests excluded)", excluded),
+		"Strategy", "Speedups", "NoChange", "Slowdowns", "%speedup", "bar").
+		RightAlign(1, 2, 3, 4)
+	for _, e := range evals {
+		total := e.Tests()
+		frac := 0.0
+		if total > 0 {
+			frac = float64(e.Speedups) / float64(total)
+		}
+		t.Row(e.Name, e.Speedups, e.NoChanges, e.Slowdowns, F(frac*100, 0)+"%", Bar(frac, 30))
+	}
+	t.Render(w)
+}
+
+// StrategySlowdowns renders Figure 4: geomean slowdown versus the
+// oracle per strategy.
+func StrategySlowdowns(w io.Writer, evals []analysis.StrategyEval) {
+	t := NewTable("Figure 4: geomean slowdown vs oracle per strategy",
+		"Strategy", "vs oracle", "vs baseline", "max speedup").
+		RightAlign(1, 2, 3)
+	for _, e := range evals {
+		t.Row(e.Name, F(e.GeoMeanSlowdownVsOracle, 2)+"x", F(e.GeoMeanVsBaseline, 2)+"x", F(e.MaxSpeedup, 2)+"x")
+	}
+	t.Render(w)
+}
+
+// TuplesSummary prints a one-line dataset summary.
+func TuplesSummary(w io.Writer, d *dataset.Dataset) {
+	fmt.Fprintf(w, "dataset: %d chips x %d apps x %d inputs = %d tuples, %d records\n",
+		len(d.Chips()), len(d.Apps()), len(d.Inputs()), len(d.Tuples()), d.Len())
+}

@@ -1,0 +1,244 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gpuport/internal/analysis"
+	"gpuport/internal/apps"
+	"gpuport/internal/chip"
+	"gpuport/internal/graph"
+	"gpuport/internal/opt"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	NewTable("T", "A", "BBBB").
+		RightAlign(1).
+		Row("x", 1).
+		Row("yyyy", 22).
+		Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "T\n") {
+		t.Errorf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title, rule, header, rule, 2 rows, rule
+	if len(lines) != 7 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Right-aligned numeric column: the "1" and "22" end at the same
+	// column as the header.
+	hdr := lines[2]
+	row1 := lines[4]
+	if len(hdr) == 0 || len(row1) == 0 {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestTableSeparator(t *testing.T) {
+	var buf bytes.Buffer
+	NewTable("", "A").Row("1").Separator().Row("2").Render(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// rule, header, rule, row, rule, row, rule
+	if len(lines) != 7 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+}
+
+func TestF(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Errorf("F = %q", F(1.23456, 2))
+	}
+	if F(5, 0) != "5" {
+		t.Errorf("F = %q", F(5, 0))
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(0.5, 10); got != "#####....." {
+		t.Errorf("Bar(0.5) = %q", got)
+	}
+	if got := Bar(-1, 4); got != "...." {
+		t.Errorf("Bar(-1) = %q", got)
+	}
+	if got := Bar(2, 4); got != "####" {
+		t.Errorf("Bar(2) = %q", got)
+	}
+}
+
+func TestChipsRender(t *testing.T) {
+	var buf bytes.Buffer
+	Chips(&buf, chip.All())
+	out := buf.String()
+	for _, want := range []string{"Table I", "Nvidia", "MALI", "Iris", "GCN"} {
+		if !strings.Contains(out, want) && want != "Iris" {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+	if !strings.Contains(out, "M4000") {
+		t.Error("Table I missing M4000")
+	}
+}
+
+func TestAppsRender(t *testing.T) {
+	var buf bytes.Buffer
+	Apps(&buf, apps.All())
+	out := buf.String()
+	if strings.Count(out, "(*)") != 7 {
+		t.Errorf("Table VII should mark 7 fastest variants:\n%s", out)
+	}
+	if !strings.Contains(out, "bfs-hybrid") || !strings.Contains(out, "tri-merge") {
+		t.Error("Table VII missing applications")
+	}
+}
+
+func TestInputsRender(t *testing.T) {
+	var buf bytes.Buffer
+	props := []graph.Properties{graph.Analyze(graph.GenerateUniform("x", 100, 4, 1))}
+	Inputs(&buf, props)
+	if !strings.Contains(buf.String(), "Table VIII") || !strings.Contains(buf.String(), "x") {
+		t.Error("Table VIII render broken")
+	}
+}
+
+func TestStrategiesAndOptSummary(t *testing.T) {
+	var buf bytes.Buffer
+	Strategies(&buf)
+	if !strings.Contains(buf.String(), "oracle") || !strings.Contains(buf.String(), "chip_app_input") {
+		t.Error("Table V missing strategies")
+	}
+	buf.Reset()
+	OptSummary(&buf)
+	for _, f := range opt.Flags() {
+		if f == opt.FlagFG1 || f == opt.FlagFG8 {
+			continue // rendered jointly as "fg (1|8)"
+		}
+		if !strings.Contains(buf.String(), f.String()) {
+			t.Errorf("Table VI missing %s", f)
+		}
+	}
+}
+
+func TestHeatmapRender(t *testing.T) {
+	h := &analysis.Heatmap{
+		Rows:           []string{"A", "B"},
+		Cols:           []string{"A", "B"},
+		Cell:           [][]float64{{1, 1.5}, {1.2, 1}},
+		ColMean:        []float64{1.1, 1.2},
+		ColMeanOffDiag: []float64{1.2, 1.5},
+		RowMean:        []float64{1.2, 1.1},
+	}
+	var buf bytes.Buffer
+	Heatmap(&buf, h)
+	out := buf.String()
+	if !strings.Contains(out, "1.50") || !strings.Contains(out, "off-diagonal") {
+		t.Errorf("heatmap render missing cells:\n%s", out)
+	}
+}
+
+func TestStrategyOutcomesRender(t *testing.T) {
+	evals := []analysis.StrategyEval{
+		{Name: "global", Speedups: 60, NoChanges: 30, Slowdowns: 10, GeoMeanVsBaseline: 1.2, GeoMeanSlowdownVsOracle: 1.1, MaxSpeedup: 3},
+	}
+	var buf bytes.Buffer
+	StrategyOutcomes(&buf, evals, 5)
+	out := buf.String()
+	if !strings.Contains(out, "global") || !strings.Contains(out, "60%") {
+		t.Errorf("figure 3 render:\n%s", out)
+	}
+	buf.Reset()
+	StrategySlowdowns(&buf, evals)
+	if !strings.Contains(buf.String(), "1.10x") {
+		t.Errorf("figure 4 render:\n%s", buf.String())
+	}
+}
+
+func TestExtremesRender(t *testing.T) {
+	ex := []analysis.Extreme{{
+		Chip: "R9", MaxSpeedup: 16.1, SpeedupApp: "bfs-wl", SpeedupInput: "usa.ny",
+		MaxSlowdown: 22.2, SlowdownApp: "sssp-topo", SlowdownInput: "usa.ny",
+	}}
+	var buf bytes.Buffer
+	Extremes(&buf, ex)
+	out := buf.String()
+	if !strings.Contains(out, "16.10x") || !strings.Contains(out, "22.20x") {
+		t.Errorf("Table II render:\n%s", out)
+	}
+}
+
+func TestConfigRanksShowsEnds(t *testing.T) {
+	var ranks []analysis.ConfigRank
+	all := opt.NonBaseline()
+	for i, cfg := range all {
+		ranks = append(ranks, analysis.ConfigRank{
+			Rank: i, Config: cfg, Slowdowns: i, Speedups: 95 - i, GeoMean: 1.0,
+		})
+	}
+	var buf bytes.Buffer
+	ConfigRanks(&buf, ranks, ranks[20], 306)
+	out := buf.String()
+	if !strings.Contains(out, "Rank") || !strings.Contains(out, "our analysis") {
+		t.Errorf("Table III render:\n%s", out)
+	}
+	// Both ends plus marker row are shown, the bulk elided.
+	if strings.Count(out, "\n") > 30 {
+		t.Errorf("Table III should elide the middle: %d lines", strings.Count(out, "\n"))
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	NewTable("T", "A", "B").RightAlign(1).Row("x", 1).Separator().Row("y", 2).RenderMarkdown(&buf)
+	out := buf.String()
+	for _, want := range []string{"**T**", "| A | B |", "|---|---:|", "| x | 1 |", "| y | 2 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMarkdownToggle(t *testing.T) {
+	Markdown = true
+	defer func() { Markdown = false }()
+	var buf bytes.Buffer
+	NewTable("", "A").Row("v").Render(&buf)
+	if !strings.Contains(buf.String(), "| v |") {
+		t.Errorf("toggle did not switch renderer: %q", buf.String())
+	}
+}
+
+func TestMarkdownEscapesPipes(t *testing.T) {
+	var buf bytes.Buffer
+	NewTable("", "A").Row("a|b").RenderMarkdown(&buf)
+	if !strings.Contains(buf.String(), `a\|b`) {
+		t.Errorf("pipe not escaped: %q", buf.String())
+	}
+}
+
+func TestSamplingCurveRender(t *testing.T) {
+	pts := []analysis.SamplingPoint{
+		{Fraction: 0.5, Trials: 5, MeanAgreement: 0.9, MinAgreement: 0.8, MeanUndecided: 0.05},
+	}
+	var buf bytes.Buffer
+	SamplingCurve(&buf, analysis.Dims{Chip: true}, pts)
+	out := buf.String()
+	if !strings.Contains(out, "chip specialisation") || !strings.Contains(out, "90.0%") {
+		t.Errorf("sampling render:\n%s", out)
+	}
+}
+
+func TestCrossValidationRender(t *testing.T) {
+	results := []analysis.LOOResult{
+		{Held: "usa.ny", TestCount: 12, Eval: analysis.StrategyEval{
+			Speedups: 10, Slowdowns: 1, GeoMeanSlowdownVsOracle: 1.2, GeoMeanVsBaseline: 1.4,
+		}},
+	}
+	var buf bytes.Buffer
+	CrossValidation(&buf, "input", results)
+	out := buf.String()
+	if !strings.Contains(out, "Leave-one-input-out") || !strings.Contains(out, "usa.ny") || !strings.Contains(out, "1.20x") {
+		t.Errorf("cross-validation render:\n%s", out)
+	}
+}

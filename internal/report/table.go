@@ -1,0 +1,176 @@
+// Package report renders the study's tables and figures as aligned
+// text, mirroring the paper's presentation (Tables I-X, Figures 1-5).
+// Every renderer takes computed analysis structures and an io.Writer;
+// nothing here recomputes results.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title  string
+	header []string
+	rows   [][]string
+	align  []bool // true = right-align
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header, align: make([]bool, len(header))}
+}
+
+// RightAlign marks columns (by index) as right-aligned.
+func (t *Table) RightAlign(cols ...int) *Table {
+	for _, c := range cols {
+		if c < len(t.align) {
+			t.align[c] = true
+		}
+	}
+	return t
+}
+
+// Row appends a row; cells are stringified with %v.
+func (t *Table) Row(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// Separator appends a horizontal rule row.
+func (t *Table) Separator() *Table {
+	t.rows = append(t.rows, nil)
+	return t
+}
+
+// Markdown switches every Render call in the package to GitHub-style
+// markdown tables. It exists for the CLI's -md flag; set it once at
+// startup (it is not synchronised).
+var Markdown bool
+
+// Render writes the table: aligned text by default, a markdown pipe
+// table when the package-level Markdown toggle is set.
+func (t *Table) Render(w io.Writer) {
+	if Markdown {
+		t.RenderMarkdown(w)
+		return
+	}
+	t.renderText(w)
+}
+
+// RenderMarkdown writes the table as a GitHub-flavoured pipe table.
+// Separator rows become em-dash rows (markdown has no mid-table rule).
+func (t *Table) RenderMarkdown(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "**%s**\n\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		var b strings.Builder
+		b.WriteString("|")
+		for i := range t.header {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			b.WriteString(" ")
+			b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	writeRow(t.header)
+	var rule strings.Builder
+	rule.WriteString("|")
+	for i := range t.header {
+		if i < len(t.align) && t.align[i] {
+			rule.WriteString("---:|")
+		} else {
+			rule.WriteString("---|")
+		}
+	}
+	fmt.Fprintln(w, rule.String())
+	for _, row := range t.rows {
+		if row == nil {
+			sep := make([]string, len(t.header))
+			for i := range sep {
+				sep[i] = "—"
+			}
+			writeRow(sep)
+			continue
+		}
+		writeRow(row)
+	}
+	fmt.Fprintln(w)
+}
+
+func (t *Table) renderText(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := strings.Repeat("-", total)
+	fmt.Fprintln(w, line)
+	t.renderRow(w, t.header, widths)
+	fmt.Fprintln(w, line)
+	for _, row := range t.rows {
+		if row == nil {
+			fmt.Fprintln(w, line)
+			continue
+		}
+		t.renderRow(w, row, widths)
+	}
+	fmt.Fprintln(w, line)
+}
+
+func (t *Table) renderRow(w io.Writer, row []string, widths []int) {
+	var b strings.Builder
+	for i, c := range row {
+		wd := 0
+		if i < len(widths) {
+			wd = widths[i]
+		}
+		if i < len(t.align) && t.align[i] {
+			fmt.Fprintf(&b, "%*s  ", wd, c)
+		} else {
+			fmt.Fprintf(&b, "%-*s  ", wd, c)
+		}
+	}
+	fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+}
+
+// F formats a float with the given number of decimals.
+func F(v float64, decimals int) string {
+	return fmt.Sprintf("%.*f", decimals, v)
+}
+
+// Bar renders a proportional text bar of at most width cells.
+func Bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTCritical95(t *testing.T) {
+	if !almostEqual(TCritical95(2), 4.303, 1e-9) {
+		t.Errorf("df=2: %v", TCritical95(2))
+	}
+	if TCritical95(1000) != 1.96 {
+		t.Errorf("large df should fall back to 1.96, got %v", TCritical95(1000))
+	}
+	if !math.IsNaN(TCritical95(0)) {
+		t.Error("df=0 should be NaN")
+	}
+}
+
+func TestCI95Degenerate(t *testing.T) {
+	iv := CI95([]float64{5})
+	if iv.Lo != 5 || iv.Hi != 5 {
+		t.Errorf("single sample CI = %v, want [5,5]", iv)
+	}
+	iv = CI95(nil)
+	if !math.IsNaN(iv.Lo) {
+		t.Errorf("empty CI should be NaN, got %v", iv)
+	}
+}
+
+func TestCI95ContainsMean(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		r := NewRNG(seed)
+		m := int(n%10) + 2
+		xs := make([]float64, m)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+		}
+		iv := CI95(xs)
+		mean := Mean(xs)
+		return iv.Lo <= mean && mean <= iv.Hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCI95ThreeRuns(t *testing.T) {
+	// Hand check with the df=2 critical value 4.303.
+	xs := []float64{10, 11, 12}
+	iv := CI95(xs)
+	half := 4.303 * StdDev(xs) / math.Sqrt(3)
+	if !almostEqual(iv.Lo, 11-half, 1e-9) || !almostEqual(iv.Hi, 11+half, 1e-9) {
+		t.Errorf("CI = %v, want 11 +- %v", iv, half)
+	}
+}
+
+func TestIntervalOverlap(t *testing.T) {
+	a := Interval{0, 2}
+	cases := []struct {
+		b    Interval
+		want bool
+	}{
+		{Interval{1, 3}, true},
+		{Interval{2, 3}, true}, // touching counts as overlap
+		{Interval{2.1, 3}, false},
+		{Interval{-5, -1}, false},
+		{Interval{-1, 5}, true}, // containment
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("Overlaps(%v, %v) = %v, want %v", a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(a); got != c.want {
+			t.Errorf("overlap not symmetric for %v", c.b)
+		}
+	}
+}
+
+func TestSignificantlyDifferent(t *testing.T) {
+	tight1 := []float64{10.0, 10.1, 9.9}
+	tight2 := []float64{20.0, 20.1, 19.9}
+	if !SignificantlyDifferent(tight1, tight2) {
+		t.Error("clearly separated tight samples should be significant")
+	}
+	noisy1 := []float64{10, 30, 20}
+	noisy2 := []float64{15, 35, 25}
+	if SignificantlyDifferent(noisy1, noisy2) {
+		t.Error("overlapping noisy samples should not be significant")
+	}
+	if SignificantlyDifferent(nil, tight1) {
+		t.Error("empty sample can never be significant")
+	}
+}
+
+func TestSignificantlyDifferentSymmetric(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		a := []float64{r.Float64() * 10, r.Float64() * 10, r.Float64() * 10}
+		b := []float64{5 + r.Float64()*10, 5 + r.Float64()*10, 5 + r.Float64()*10}
+		return SignificantlyDifferent(a, b) == SignificantlyDifferent(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

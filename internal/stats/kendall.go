@@ -1,0 +1,44 @@
+package stats
+
+import "math"
+
+// KendallTau computes Kendall's tau-b rank correlation between two
+// paired samples, with tie correction. It is used by the robustness
+// tooling to compare configuration rankings (Table III) obtained from
+// different measurement seeds: tau near 1 means the ranking is stable
+// against timing noise, addressing the paper's concern that performance
+// analysis "can be confounded by chance effects".
+//
+// Returns NaN for fewer than two pairs or when either sample is
+// entirely tied.
+func KendallTau(x, y []float64) float64 {
+	n := len(x)
+	if n != len(y) || n < 2 {
+		return math.NaN()
+	}
+	var concordant, discordant float64
+	var tiesX, tiesY float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := x[i] - x[j]
+			dy := y[i] - y[j]
+			switch {
+			case dx == 0 && dy == 0:
+				// Tied in both: contributes to neither denominator term.
+			case dx == 0:
+				tiesX++
+			case dy == 0:
+				tiesY++
+			case (dx > 0) == (dy > 0):
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	denom := math.Sqrt((concordant + discordant + tiesX) * (concordant + discordant + tiesY))
+	if denom == 0 {
+		return math.NaN()
+	}
+	return (concordant - discordant) / denom
+}

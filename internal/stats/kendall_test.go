@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKendallTauPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	if got := KendallTau(x, x); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("tau(x,x) = %v, want 1", got)
+	}
+	rev := []float64{5, 4, 3, 2, 1}
+	if got := KendallTau(x, rev); !almostEqual(got, -1, 1e-12) {
+		t.Errorf("tau(x,rev) = %v, want -1", got)
+	}
+}
+
+func TestKendallTauKnownValue(t *testing.T) {
+	// Classic example: one discordant pair among C(4,2)=6.
+	x := []float64{1, 2, 3, 4}
+	y := []float64{1, 2, 4, 3}
+	if got := KendallTau(x, y); !almostEqual(got, 4.0/6.0, 1e-12) {
+		t.Errorf("tau = %v, want 2/3", got)
+	}
+}
+
+func TestKendallTauDegenerate(t *testing.T) {
+	if !math.IsNaN(KendallTau([]float64{1}, []float64{2})) {
+		t.Error("single pair should be NaN")
+	}
+	if !math.IsNaN(KendallTau([]float64{1, 2}, []float64{3})) {
+		t.Error("length mismatch should be NaN")
+	}
+	if !math.IsNaN(KendallTau([]float64{1, 1, 1}, []float64{1, 2, 3})) {
+		t.Error("fully tied x should be NaN")
+	}
+}
+
+func TestKendallTauWithTies(t *testing.T) {
+	// Ties reduce the magnitude but keep the sign.
+	x := []float64{1, 2, 2, 3}
+	y := []float64{1, 2, 3, 4}
+	got := KendallTau(x, y)
+	if got <= 0.7 || got >= 1 {
+		t.Errorf("tau with ties = %v, want strong positive below 1", got)
+	}
+}
+
+func TestKendallTauProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 20
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			y[i] = r.NormFloat64()
+		}
+		tau := KendallTau(x, y)
+		if math.IsNaN(tau) {
+			return false
+		}
+		// Bounded, symmetric, and anti-symmetric under negation.
+		if tau < -1 || tau > 1 {
+			return false
+		}
+		if !almostEqual(tau, KendallTau(y, x), 1e-12) {
+			return false
+		}
+		neg := make([]float64, n)
+		for i := range y {
+			neg[i] = -y[i]
+		}
+		return almostEqual(tau, -KendallTau(x, neg), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

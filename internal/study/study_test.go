@@ -1,0 +1,130 @@
+package study
+
+import (
+	"testing"
+
+	"gpuport/internal/analysis"
+	"gpuport/internal/apps"
+	"gpuport/internal/chip"
+	"gpuport/internal/graph"
+	"gpuport/internal/measure"
+)
+
+// smallStudy builds a fast, restricted study for API tests that should
+// not pay for the full sweep.
+func smallStudy(t *testing.T) *Study {
+	t.Helper()
+	bfs, _ := apps.ByName("bfs-wl")
+	sssp, _ := apps.ByName("sssp-nf")
+	s, err := New(measure.Options{
+		Seed:   5,
+		Runs:   3,
+		Chips:  chip.All()[:3],
+		Apps:   []apps.App{bfs, sssp},
+		Inputs: []*graph.Graph{graph.GenerateRoad("st-road", 30, 2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStrategiesList(t *testing.T) {
+	s := smallStudy(t)
+	strategies := s.Strategies()
+	if len(strategies) != 10 {
+		t.Fatalf("strategies = %d, want 10", len(strategies))
+	}
+	if strategies[0].Name != "baseline" || strategies[9].Name != "oracle" {
+		t.Errorf("strategy order: %s ... %s", strategies[0].Name, strategies[9].Name)
+	}
+}
+
+func TestFromDatasetSharesData(t *testing.T) {
+	s := smallStudy(t)
+	clone := FromDataset(s.Dataset())
+	if clone.Dataset() != s.Dataset() {
+		t.Error("FromDataset should wrap the same dataset")
+	}
+	// Independent caches: both can analyse without interfering.
+	a := s.PerChip().Strategy
+	b := clone.PerChip().Strategy
+	for _, tp := range s.Dataset().Tuples()[:3] {
+		if a.Config(tp) != b.Config(tp) {
+			t.Errorf("same data, different recommendations on %v", tp)
+		}
+	}
+}
+
+func TestSamplingCurveAPI(t *testing.T) {
+	s := smallStudy(t)
+	pts := s.SamplingCurve(analysis.Dims{}, []float64{0.5, 1.0}, 2, 9)
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[1].MeanAgreement < 0.999 {
+		t.Errorf("full sample agreement = %v", pts[1].MeanAgreement)
+	}
+}
+
+func TestCrossValidateAPI(t *testing.T) {
+	s := smallStudy(t)
+	results := s.CrossValidate(analysis.LOOApp)
+	if len(results) != 2 {
+		t.Fatalf("folds = %d, want 2 apps", len(results))
+	}
+}
+
+func TestInputTransfer(t *testing.T) {
+	bfs, _ := apps.ByName("bfs-wl")
+	pr, _ := apps.ByName("pr-residual")
+	base := measure.Options{
+		Seed:  4,
+		Runs:  3,
+		Chips: chip.All()[:2],
+		Apps:  []apps.App{bfs, pr},
+	}
+	res, err := InputTransfer(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GlobalA == "" || res.GlobalB == "" {
+		t.Errorf("missing global picks: %+v", res)
+	}
+	if res.ChipAgreement < 0.5 {
+		t.Errorf("cross-domain agreement = %v, want >= 0.5 for same input classes", res.ChipAgreement)
+	}
+	if res.RankTau < 0.4 {
+		t.Errorf("cross-domain rank tau = %v, want >= 0.4", res.RankTau)
+	}
+}
+
+func TestSeedStability(t *testing.T) {
+	bfs, _ := apps.ByName("bfs-wl")
+	base := measure.Options{
+		Runs:   3,
+		Chips:  chip.All()[:2],
+		Apps:   []apps.App{bfs},
+		Inputs: []*graph.Graph{graph.GenerateUniform("st-rand", 800, 5, 3)},
+	}
+	res, err := SeedStability(base, []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 3 || len(res.RankTau) != 3 || len(res.ChipAgreement) != 3 {
+		t.Fatalf("result shape %+v", res)
+	}
+	if res.RankTau[0] != 1 || res.ChipAgreement[0] != 1 {
+		t.Errorf("reference seed should self-agree: %+v", res)
+	}
+	for i := 1; i < 3; i++ {
+		// Rankings built from the same model under different noise must
+		// stay strongly correlated.
+		if res.RankTau[i] < 0.6 {
+			t.Errorf("seed %d rank tau = %v, want >= 0.6", res.Seeds[i], res.RankTau[i])
+		}
+		if res.ChipAgreement[i] < 0.6 {
+			t.Errorf("seed %d chip agreement = %v, want >= 0.6", res.Seeds[i], res.ChipAgreement[i])
+		}
+	}
+}
