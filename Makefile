@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all vet build test race ci bench bench-fault clean
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# ci is the full gate: everything a change must pass before merging.
+ci: vet build test race
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# bench-fault guards the zero-overhead claim of the fault-injected
+# collect path: no-fault-layer and zero-rate-faults must be within
+# noise of each other.
+bench-fault:
+	$(GO) test -run xxx -bench BenchmarkCollectFaultOverhead -benchtime 20x .
+
+clean:
+	$(GO) clean ./...

@@ -16,6 +16,7 @@ import (
 	"gpuport/internal/chip"
 	"gpuport/internal/cost"
 	"gpuport/internal/dataset"
+	"gpuport/internal/fault"
 	"gpuport/internal/graph"
 	"gpuport/internal/measure"
 	"gpuport/internal/microbench"
@@ -217,6 +218,47 @@ func BenchmarkAlgorithm1AllSpecialisations(b *testing.B) {
 			analysis.Specialise(d, dims)
 		}
 	}
+}
+
+// BenchmarkCollectFaultOverhead guards the zero-overhead claim of the
+// fault-injected collect path: the same small sweep with (a) no fault
+// layer, (b) the fault layer enabled at zero rates, and (c) realistic
+// light fault rates. (a) and (b) must be within noise of each other -
+// the zero-rate layer adds only one keyed RNG draw per cell - and (b)
+// is bit-identical to (a) by TestZeroRateFaultsBitIdentical.
+func BenchmarkCollectFaultOverhead(b *testing.B) {
+	bfs, _ := apps.ByName("bfs-wl")
+	pr, _ := apps.ByName("pr-residual")
+	base := measure.Options{
+		Seed:   7,
+		Runs:   3,
+		Chips:  chip.All()[:2],
+		Apps:   []apps.App{bfs, pr},
+		Inputs: []*graph.Graph{graph.GenerateUniform("bench-fault", 600, 5, 9)},
+	}
+	collect := func(b *testing.B, o measure.Options) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			d, err := measure.Collect(o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if d.Len() == 0 {
+				b.Fatal("empty dataset")
+			}
+		}
+	}
+	b.Run("no-fault-layer", func(b *testing.B) { collect(b, base) })
+	b.Run("zero-rate-faults", func(b *testing.B) {
+		o := base
+		o.Faults = &fault.Profile{Seed: 1}
+		collect(b, o)
+	})
+	b.Run("light-faults", func(b *testing.B) {
+		o := base
+		o.Faults = fault.Light()
+		collect(b, o)
+	})
 }
 
 // --- workload generators: one bench per application per input class ---

@@ -29,25 +29,37 @@
 //
 // Flags (before the subcommand):
 //
-//	-seed N     noise seed (default 42)
-//	-runs N     timed runs per cell (default 3)
-//	-in file    load a previously saved dataset instead of generating
-//	-out file   save the generated dataset as CSV
-//	-v          progress logging to stderr
-//	-md         render tables as markdown instead of aligned text
+//	-seed N       noise seed (default 42)
+//	-runs N       timed runs per cell (default 3)
+//	-in file      load a previously saved dataset instead of generating
+//	-out file     save the generated dataset as CSV
+//	-faults spec  inject faults while collecting: "light", "heavy", or
+//	              key=value pairs like "transient=0.05,corrupt=0.02"
+//	              (see internal/fault); the run degrades gracefully to a
+//	              partial dataset and reports its coverage
+//	-resume file  persist completed cells to this checkpoint CSV as the
+//	              sweep runs; an interrupted run (Ctrl-C) restarted with
+//	              the same flag resumes bit-identically
+//	-workers N    collection worker count (default GOMAXPROCS)
+//	-v            progress logging to stderr
+//	-md           render tables as markdown instead of aligned text
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 
 	"gpuport/internal/analysis"
 	"gpuport/internal/apps"
 	"gpuport/internal/chip"
 	"gpuport/internal/dataset"
+	"gpuport/internal/fault"
 	"gpuport/internal/graph"
 	"gpuport/internal/measure"
 	"gpuport/internal/microbench"
@@ -56,31 +68,61 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "gpuport:", err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "gpuport: interrupted; completed shards are saved when -resume is set")
+		} else {
+			fmt.Fprintln(os.Stderr, "gpuport:", err)
+		}
 		os.Exit(1)
 	}
 }
 
+// run keeps the historical signature for tests; it is runCtx without
+// cancellation.
 func run(args []string, w io.Writer) error {
+	return runCtx(context.Background(), args, w)
+}
+
+func runCtx(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("gpuport", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 42, "measurement noise seed")
 	runs := fs.Int("runs", 3, "timed runs per cell")
 	inFile := fs.String("in", "", "load dataset from CSV instead of generating")
 	outFile := fs.String("out", "", "save generated dataset to CSV")
+	faultSpec := fs.String("faults", "", "fault injection profile: none, light, heavy, or key=value pairs")
+	resume := fs.String("resume", "", "checkpoint CSV: persist completed cells and resume interrupted sweeps")
+	workers := fs.Int("workers", 0, "collection workers (default GOMAXPROCS)")
 	verbose := fs.Bool("v", false, "progress logging")
 	md := fs.Bool("md", false, "render tables as markdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	report.Markdown = *md
+	profile, err := fault.Parse(*faultSpec)
+	if err != nil {
+		return err
+	}
 	rest := fs.Args()
 	if len(rest) == 0 {
 		rest = []string{"all"}
 	}
 
+	opts := measure.Options{
+		Seed:       *seed,
+		Runs:       *runs,
+		Ctx:        ctx,
+		Workers:    *workers,
+		Faults:     profile,
+		Checkpoint: *resume,
+	}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
 	loader := func() (*study.Study, error) {
-		return loadOrCollect(*inFile, *outFile, *seed, *runs, *verbose)
+		return loadOrCollect(*inFile, *outFile, opts)
 	}
 
 	switch rest[0] {
@@ -96,6 +138,7 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		report.TuplesSummary(w, s.Dataset())
+		printCampaign(w, s)
 		if *outFile == "" {
 			fmt.Fprintln(w, "hint: pass -out file.csv to persist the dataset")
 		}
@@ -168,7 +211,7 @@ func run(args []string, w io.Writer) error {
 		if path == "" {
 			path = "REPORT.md"
 		}
-		s, err := loadOrCollect(*inFile, "", *seed, *runs, *verbose)
+		s, err := loadOrCollect(*inFile, "", opts)
 		if err != nil {
 			return err
 		}
@@ -186,7 +229,9 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "report written to %s\n", path)
 		return nil
 	case "transfer":
-		res, err := study.InputTransfer(measure.Options{Seed: *seed, Runs: *runs})
+		base := opts
+		base.Checkpoint = "" // one checkpoint cannot serve two sweeps
+		res, err := study.InputTransfer(base)
 		if err != nil {
 			return err
 		}
@@ -212,7 +257,9 @@ func run(args []string, w io.Writer) error {
 		for i := range seeds {
 			seeds[i] = *seed + uint64(i)
 		}
-		res, err := study.SeedStability(measure.Options{Runs: *runs}, seeds)
+		base := opts
+		base.Checkpoint = "" // per-seed sweeps must not share a checkpoint
+		res, err := study.SeedStability(base, seeds)
 		if err != nil {
 			return err
 		}
@@ -276,7 +323,7 @@ func parseDims(name string) (analysis.Dims, error) {
 	return analysis.Dims{}, fmt.Errorf("unknown specialisation %q (try global, chip, app, input, chip_app, ...)", name)
 }
 
-func loadOrCollect(inFile, outFile string, seed uint64, runs int, verbose bool) (*study.Study, error) {
+func loadOrCollect(inFile, outFile string, opts measure.Options) (*study.Study, error) {
 	if inFile != "" {
 		f, err := os.Open(inFile)
 		if err != nil {
@@ -288,10 +335,6 @@ func loadOrCollect(inFile, outFile string, seed uint64, runs int, verbose bool) 
 			return nil, err
 		}
 		return study.FromDataset(d), nil
-	}
-	opts := measure.Options{Seed: seed, Runs: runs}
-	if verbose {
-		opts.Progress = os.Stderr
 	}
 	s, err := study.New(opts)
 	if err != nil {
@@ -310,9 +353,23 @@ func loadOrCollect(inFile, outFile string, seed uint64, runs int, verbose bool) 
 	return s, nil
 }
 
+// printCampaign renders the collection accounting when there is
+// anything to tell: fault injection, missing cells, resumed cells or
+// checkpoint trouble. Clean non-resumed runs stay silent.
+func printCampaign(w io.Writer, s *study.Study) {
+	rep := s.Report()
+	if rep == nil || !rep.Eventful() {
+		return
+	}
+	report.Coverage(w, rep)
+	report.FaultSummary(w, rep)
+	report.PartialTuples(w, s.Dataset())
+}
+
 func printAll(w io.Writer, s *study.Study) error {
 	d := s.Dataset()
 	report.TuplesSummary(w, d)
+	printCampaign(w, s)
 	fmt.Fprintln(w)
 	report.Chips(w, chip.All())
 	fmt.Fprintln(w)

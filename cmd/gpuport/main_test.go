@@ -178,3 +178,28 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+func TestFaultsFlagAndResume(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "ck.csv")
+	out := runCLI(t, "-faults", "heavy,seed=3", "-resume", ck, "dataset")
+	for _, want := range []string{"coverage:", "fault profile:", "partial"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("faulted dataset output missing %q:\n%s", want, out)
+		}
+	}
+	if st, err := os.Stat(ck); err != nil || st.Size() == 0 {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	// Re-running with the same checkpoint resumes every cell.
+	out = runCLI(t, "-faults", "heavy,seed=3", "-resume", ck, "dataset")
+	if !strings.Contains(out, "resumed from checkpoint") {
+		t.Errorf("second run did not resume:\n%s", out)
+	}
+}
+
+func TestBadFaultSpecRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-faults", "bogus=1", "dataset"}, &buf); err == nil {
+		t.Fatal("bad -faults spec accepted")
+	}
+}

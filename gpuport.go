@@ -31,6 +31,7 @@ import (
 	"gpuport/internal/apps"
 	"gpuport/internal/chip"
 	"gpuport/internal/dataset"
+	"gpuport/internal/fault"
 	"gpuport/internal/graph"
 	"gpuport/internal/irglc"
 	"gpuport/internal/measure"
@@ -68,6 +69,17 @@ type (
 	StrategyEval = analysis.StrategyEval
 	// Heatmap is the Figure 1 cross-chip portability matrix.
 	Heatmap = analysis.Heatmap
+	// FaultProfile configures deterministic fault injection for a
+	// collection run (internal/fault): transient launch failures, hung
+	// launches, corrupted samples and whole-chip dropouts, plus the
+	// retry/backoff/deadline policy that heals them.
+	FaultProfile = fault.Profile
+	// CollectionReport accounts for every cell of a collection run:
+	// coverage, retries, quarantined samples, and a reason for every
+	// missing cell of a partial dataset.
+	CollectionReport = measure.Report
+	// CellFailure explains one missing cell of a partial dataset.
+	CellFailure = measure.CellFailure
 	// Chip is one GPU platform model.
 	Chip = chip.Chip
 	// App is one graph application.
@@ -88,6 +100,19 @@ func StudyFromDataset(d *Dataset) *Study { return study.FromDataset(d) }
 
 // ReadDatasetCSV loads a dataset written by Dataset.WriteCSV.
 func ReadDatasetCSV(r io.Reader) (*Dataset, error) { return dataset.ReadCSV(r) }
+
+// ParseFaultProfile parses a fault-injection spec: "", "none", the
+// presets "light" and "heavy" (optionally with overrides, e.g.
+// "heavy,seed=9"), or key=value pairs like "transient=0.05,corrupt=0.02".
+func ParseFaultProfile(spec string) (*FaultProfile, error) { return fault.Parse(spec) }
+
+// CollectWithReport runs the measurement sweep and returns the dataset
+// together with its collection report. Under fault injection (or when
+// resuming from a checkpoint) the report is the authoritative account
+// of coverage and of every missing cell.
+func CollectWithReport(o Options) (*Dataset, *CollectionReport, error) {
+	return measure.CollectReport(o)
+}
 
 // Chips returns the six GPU models of the study (Table I).
 func Chips() []Chip { return chip.All() }

@@ -82,3 +82,35 @@ func TestPublicMicrobenchmarks(t *testing.T) {
 		t.Errorf("utilisation sweep broken: %+v", pts)
 	}
 }
+
+func TestPublicFaultAPI(t *testing.T) {
+	if p, err := ParseFaultProfile("none"); err != nil || p != nil {
+		t.Errorf("ParseFaultProfile(none) = %v, %v", p, err)
+	}
+	p, err := ParseFaultProfile("light,seed=3")
+	if err != nil || p == nil {
+		t.Fatalf("ParseFaultProfile(light) = %v, %v", p, err)
+	}
+	chips := Chips()[:2]
+	app := Applications()[0]
+	o := Options{
+		Seed:  9,
+		Runs:  3,
+		Chips: chips,
+		Apps:  []App{app},
+	}
+	o.Faults = p
+	d, rep, err := CollectWithReport(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() == 0 || rep == nil {
+		t.Fatalf("CollectWithReport: len %d, report %v", d.Len(), rep)
+	}
+	if rep.Coverage() <= 0 || rep.Coverage() > 1 {
+		t.Errorf("coverage = %v", rep.Coverage())
+	}
+	if !rep.Eventful() {
+		t.Error("fault-injected run should be eventful")
+	}
+}

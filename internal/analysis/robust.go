@@ -11,6 +11,25 @@ import (
 	"gpuport/internal/stats"
 )
 
+// Fault-degradation tolerances. A measurement campaign that loses a few
+// percent of its cells to injected faults (internal/fault: retried
+// transients resample the noise stream, corrupted samples are
+// quarantined, exhausted cells go missing) still has to support the
+// study's conclusions. These floors state how much the headline
+// statistics may move at roughly 5% fault rates before we consider the
+// analysis fault-brittle; they are calibrated with safety margin by
+// TestFaultedSweepAgreesWithClean, which observes substantially higher
+// values on the standard small sweep.
+const (
+	// FaultAgreementFloor bounds AgreementBetween(clean, faulted) for
+	// per-chip flag decisions: at least this fraction of the clean
+	// sweep's confident decisions must be reproduced.
+	FaultAgreementFloor = 0.80
+	// FaultRankTauFloor bounds RankCorrelation between the clean and the
+	// faulted Table III rankings (Kendall tau-b over shared configs).
+	FaultRankTauFloor = 0.70
+)
+
 // AgreementBetween compares two specialisations partition by partition
 // and returns the fraction of reference (a) decisions that b
 // reproduces, plus the fraction of a's confident decisions b leaves

@@ -167,6 +167,54 @@ func (d *Dataset) BestConfig(t Tuple) (opt.Config, float64, bool) {
 	return best, bestTime, found
 }
 
+// TupleCoverage returns the fraction of the configuration grid that has
+// data for the tuple (1 for a fully swept tuple, 0 for an absent one).
+func (d *Dataset) TupleCoverage(t Tuple) float64 {
+	configs := opt.All()
+	have := 0
+	for _, cfg := range configs {
+		if _, ok := d.index[Key{t, cfg}]; ok {
+			have++
+		}
+	}
+	return float64(have) / float64(len(configs))
+}
+
+// Coverage returns the fraction of the chips x apps x inputs x configs
+// grid spanned by the dataset's own dimensions that has data. Note this
+// is relative to the dimensions the dataset knows about: a chip that
+// produced no records at all does not shrink Coverage - the collection
+// report (internal/measure) is the authoritative account of the
+// intended sweep.
+func (d *Dataset) Coverage() float64 {
+	grid := len(d.chips) * len(d.apps) * len(d.inputs) * len(opt.All())
+	if grid == 0 {
+		return 1
+	}
+	return float64(len(d.records)) / float64(grid)
+}
+
+// MissingCells lists every (tuple, config) hole in the grid spanned by
+// the dataset's dimensions, in dimension insertion order then config
+// order. A complete dataset returns nil.
+func (d *Dataset) MissingCells() []Key {
+	var out []Key
+	configs := opt.All()
+	for _, ch := range d.chips {
+		for _, app := range d.apps {
+			for _, in := range d.inputs {
+				t := Tuple{Chip: ch, App: app, Input: in}
+				for _, cfg := range configs {
+					if _, ok := d.index[Key{t, cfg}]; !ok {
+						out = append(out, Key{t, cfg})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
 // WriteCSV serialises the dataset: header then one row per record with
 // samples in fixed columns.
 func (d *Dataset) WriteCSV(w io.Writer) error {

@@ -1,0 +1,147 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"gpuport/internal/opt"
+)
+
+// buildPartial returns a dataset with holes: tuple t1 fully swept, t2
+// covering half the grid, t3 a single cell with a short (quarantined)
+// sample list.
+func buildPartial() (*Dataset, Tuple, Tuple, Tuple) {
+	d := New()
+	t1 := tup("chipA", "app1", "in1")
+	t2 := tup("chipB", "app1", "in1")
+	t3 := tup("chipC", "app1", "in1")
+	configs := opt.All()
+	for i, cfg := range configs {
+		d.Add(sample(t1, cfg, 100+float64(i), 101, 99))
+		if i%2 == 0 {
+			d.Add(sample(t2, cfg, 50+float64(i), 51, 49))
+		}
+	}
+	d.Add(sample(t3, configs[0], 7.25, 7.5)) // 2 of 3 runs survived
+	return d, t1, t2, t3
+}
+
+func TestTupleCoverage(t *testing.T) {
+	d, t1, t2, t3 := buildPartial()
+	if c := d.TupleCoverage(t1); c != 1 {
+		t.Errorf("full tuple coverage = %v", c)
+	}
+	if c := d.TupleCoverage(t2); math.Abs(c-0.5) > 0.01 {
+		t.Errorf("half tuple coverage = %v", c)
+	}
+	want := 1.0 / float64(len(opt.All()))
+	if c := d.TupleCoverage(t3); math.Abs(c-want) > 1e-12 {
+		t.Errorf("single-cell coverage = %v, want %v", c, want)
+	}
+	if c := d.TupleCoverage(tup("ghost", "x", "y")); c != 0 {
+		t.Errorf("absent tuple coverage = %v", c)
+	}
+}
+
+func TestCoverageAndMissingCells(t *testing.T) {
+	d, _, _, _ := buildPartial()
+	nc := len(opt.All())
+	wantRecords := nc + (nc+1)/2 + 1
+	if d.Len() != wantRecords {
+		t.Fatalf("len = %d, want %d", d.Len(), wantRecords)
+	}
+	grid := 3 * nc // 3 chips x 1 app x 1 input
+	wantCov := float64(wantRecords) / float64(grid)
+	if c := d.Coverage(); math.Abs(c-wantCov) > 1e-12 {
+		t.Errorf("coverage = %v, want %v", c, wantCov)
+	}
+	missing := d.MissingCells()
+	if len(missing) != grid-wantRecords {
+		t.Fatalf("missing = %d cells, want %d", len(missing), grid-wantRecords)
+	}
+	for _, k := range missing {
+		if d.Samples(k.Tuple, k.Config) != nil {
+			t.Errorf("cell %v reported missing but has data", k)
+		}
+	}
+	if c := New().Coverage(); c != 1 {
+		t.Errorf("empty dataset coverage = %v, want 1 (vacuous)", c)
+	}
+	if m := buildSmallComplete().MissingCells(); m != nil {
+		t.Errorf("complete dataset has missing cells: %v", m)
+	}
+}
+
+// buildSmallComplete fills one tuple completely so MissingCells is nil.
+func buildSmallComplete() *Dataset {
+	d := New()
+	t1 := tup("chipA", "app1", "in1")
+	for i, cfg := range opt.All() {
+		d.Add(sample(t1, cfg, float64(100+i)))
+	}
+	return d
+}
+
+func TestPartialCSVRoundTrip(t *testing.T) {
+	d, _, t2, t3 := buildPartial()
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]byte(nil), buf.Bytes()...)
+
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() {
+		t.Fatalf("round trip len %d != %d", back.Len(), d.Len())
+	}
+	// Holes stay holes, data stays bit-identical, ragged rows keep
+	// their true sample count (no padding invented).
+	for _, tp := range d.Tuples() {
+		for _, cfg := range opt.All() {
+			a, b := d.Samples(tp, cfg), back.Samples(tp, cfg)
+			if (a == nil) != (b == nil) {
+				t.Fatalf("%v/%v: presence changed across round trip", tp, cfg)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("%v/%v: %d samples became %d", tp, cfg, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%v/%v sample %d: %v != %v (not bit-identical)", tp, cfg, i, a[i], b[i])
+				}
+			}
+		}
+	}
+	if got := back.Samples(t3, opt.All()[0]); len(got) != 2 {
+		t.Errorf("quarantined cell has %d samples after round trip, want 2", len(got))
+	}
+	if c := back.TupleCoverage(t2); math.Abs(c-0.5) > 0.01 {
+		t.Errorf("coverage changed across round trip: %v", c)
+	}
+
+	// A second serialisation is byte-identical to the first.
+	var buf2 bytes.Buffer
+	if err := back.WriteCSV(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, buf2.Bytes()) {
+		t.Fatal("write -> read -> write is not byte-stable")
+	}
+}
+
+func TestBestConfigOnPartialTuple(t *testing.T) {
+	d, _, t2, t3 := buildPartial()
+	if _, _, ok := d.BestConfig(t2); !ok {
+		t.Error("half-covered tuple should still have a best config")
+	}
+	if cfg, v, ok := d.BestConfig(t3); !ok || v <= 0 {
+		t.Errorf("single-cell tuple best = %v, %v, %v", cfg, v, ok)
+	}
+	if _, _, ok := d.BestConfig(tup("ghost", "x", "y")); ok {
+		t.Error("absent tuple reported a best config")
+	}
+}

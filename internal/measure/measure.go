@@ -3,11 +3,20 @@
 // chips and optimisation configurations through the cost model, taking
 // several noisy timing samples per cell, and assembles the study
 // dataset.
+//
+// The harness is built to survive the failure modes of a real
+// multi-vendor campaign (see internal/fault): cells retry transient
+// launch failures with capped exponential backoff, hung launches are
+// cut off by a deadline, corrupted samples are quarantined by robust
+// outlier rejection, and a cell that exhausts its retries - or sits on
+// a dropped-out chip - is recorded as missing with a reason rather than
+// aborting the sweep. Long sweeps can persist completed shards to a
+// checkpoint file and resume bit-identically after an interruption.
 package measure
 
 import (
+	"context"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"runtime"
 	"sync"
@@ -16,9 +25,9 @@ import (
 	"gpuport/internal/chip"
 	"gpuport/internal/cost"
 	"gpuport/internal/dataset"
+	"gpuport/internal/fault"
 	"gpuport/internal/graph"
 	"gpuport/internal/opt"
-	"gpuport/internal/stats"
 )
 
 // Options configures a collection run.
@@ -33,11 +42,31 @@ type Options struct {
 	Apps   []apps.App
 	Inputs []*graph.Graph
 	// Progress, when non-nil, receives one line per (app, input) pair
-	// as traces are gathered.
+	// as traces are gathered. Write errors abort the run.
 	Progress io.Writer
 	// Validate re-checks every application output against its
 	// reference implementation while tracing.
 	Validate bool
+
+	// Ctx, when non-nil, cancels the sweep: tracing stops between
+	// applications and the worker pool drains without starting new
+	// jobs. Completed shards are still flushed to the checkpoint, so a
+	// cancelled sweep can resume.
+	Ctx context.Context
+	// Workers caps the cost-evaluation worker pool; 0 means GOMAXPROCS.
+	// The dataset is bit-identical for any worker count.
+	Workers int
+	// Faults, when non-nil, enables deterministic fault injection with
+	// the embedded retry/backoff/deadline policy.
+	Faults *fault.Profile
+	// Checkpoint names a CSV file for incremental shard persistence:
+	// completed cells are appended as the sweep runs, and cells already
+	// present are resumed (skipped bit-identically) instead of
+	// re-measured.
+	Checkpoint string
+	// CheckpointEvery flushes the checkpoint after this many completed
+	// (chip, trace) jobs (default 4).
+	CheckpointEvery int
 }
 
 func (o *Options) fill() {
@@ -53,20 +82,59 @@ func (o *Options) fill() {
 	if o.Inputs == nil {
 		o.Inputs = graph.StandardInputs()
 	}
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 4
+	}
 }
 
-// Collect produces the full dataset for the configured sweep. Cost
+// cellKey is the canonical identity of one measured cell; it keys both
+// the measurement-noise and the fault-decision streams. The format is
+// frozen: attempt-0 noise must reproduce the historical fault-free
+// stream so that enabling a zero-rate fault profile changes nothing.
+func cellKey(seed uint64, chipName, app, input string, cfg opt.Config) string {
+	return fmt.Sprintf("%d|%s|%s|%s|%s", seed, chipName, app, input, cfg.String())
+}
+
+// cellState tracks the fault bookkeeping of one cell slot.
+type cellState struct {
+	attempts    int
+	quarantined int
+	waitNS      float64
+	failed      fault.Kind
+	measured    bool
+	resumed     bool
+}
+
+// Collect produces the dataset for the configured sweep, discarding the
+// collection report. See CollectReport.
+func Collect(o Options) (*dataset.Dataset, error) {
+	d, _, err := CollectReport(o)
+	return d, err
+}
+
+// CollectReport produces the dataset for the configured sweep plus a
+// report accounting for every cell: measured, resumed from checkpoint,
+// retried, or missing with the fault kind that killed it. Cost
 // evaluation is parallelised across (chip, trace) pairs; the assembled
 // dataset is bit-identical regardless of parallelism because every
-// record is written to a pre-assigned slot and the per-cell noise
-// streams are keyed, not sequential.
-func Collect(o Options) (*dataset.Dataset, error) {
+// record is written to a pre-assigned slot and both the noise and the
+// fault streams are keyed per cell, not sequential.
+//
+// Under fault injection the dataset may be partial; it is returned
+// (not an error) together with the report, and the analysis layer
+// degrades gracefully to the covered cells.
+func CollectReport(o Options) (*dataset.Dataset, *Report, error) {
 	o.fill()
+	ctx := o.Ctx
 	profiles, err := Traces(o)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	configs := opt.All()
+	nc := len(configs)
 
 	type job struct{ chipIdx, traceIdx int }
 	jobs := make([]job, 0, len(o.Chips)*len(profiles))
@@ -75,9 +143,31 @@ func Collect(o Options) (*dataset.Dataset, error) {
 			jobs = append(jobs, job{ci, ti})
 		}
 	}
-	records := make([]dataset.Record, len(jobs)*len(configs))
+	records := make([]dataset.Record, len(jobs)*nc)
+	cells := make([]cellState, len(jobs)*nc)
 
-	workers := runtime.GOMAXPROCS(0)
+	var ck *checkpoint
+	var resumeSet *dataset.Dataset
+	if o.Checkpoint != "" {
+		ck, resumeSet, err = openCheckpoint(o.Checkpoint, o.Runs, o.CheckpointEvery)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	var inj *fault.Injector
+	if o.Faults != nil {
+		names := make([]string, len(o.Chips))
+		for i, ch := range o.Chips {
+			names[i] = ch.Name
+		}
+		inj = fault.NewInjector(*o.Faults, names, len(profiles)*nc)
+	}
+
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
@@ -91,35 +181,140 @@ func Collect(o Options) (*dataset.Dataset, error) {
 		go func() {
 			defer wg.Done()
 			for ji := range next {
+				if ctx.Err() != nil {
+					continue // drain without starting new work
+				}
 				ch := o.Chips[jobs[ji].chipIdx]
 				tp := profiles[jobs[ji].traceIdx]
 				// Each goroutine owns a disjoint slice region; no locks
 				// are needed and the final order is deterministic.
-				out := records[ji*len(configs) : (ji+1)*len(configs)]
+				out := records[ji*nc : (ji+1)*nc]
+				st := cells[ji*nc : (ji+1)*nc]
+				fresh := false
 				for k, cfg := range configs {
-					base := cost.Estimate(ch, cfg, tp)
-					out[k] = dataset.Record{
-						Key: dataset.Key{
-							Tuple:  dataset.Tuple{Chip: ch.Name, App: tp.App, Input: tp.Input},
-							Config: cfg,
-						},
-						Samples: samples(base, ch, cfg, tp.App, tp.Input, o),
+					dkey := dataset.Key{
+						Tuple:  dataset.Tuple{Chip: ch.Name, App: tp.App, Input: tp.Input},
+						Config: cfg,
 					}
+					if inj != nil && inj.Dropped(ch.Name, jobs[ji].traceIdx*nc+k) {
+						st[k] = cellState{failed: fault.Dropout}
+						continue
+					}
+					key := cellKey(o.Seed, ch.Name, tp.App, tp.Input, cfg)
+					var factors []float64
+					if inj != nil {
+						res := inj.MeasureCell(key, o.Runs, ch.NoiseSigma)
+						st[k] = cellState{
+							attempts:    res.Attempts,
+							quarantined: res.Quarantined,
+							waitNS:      res.WaitNS,
+							failed:      res.Failed,
+						}
+						if res.Failed != fault.None {
+							continue
+						}
+						factors = res.Factors
+					} else {
+						st[k] = cellState{attempts: 1}
+					}
+					st[k].measured = true
+					var prior []float64
+					if resumeSet != nil {
+						prior = resumeSet.Samples(dkey.Tuple, cfg)
+					}
+					if prior != nil {
+						// Resumed from checkpoint: skip the expensive
+						// cost evaluation; the fault outcome above was
+						// replayed so the report stays bit-identical.
+						st[k].resumed = true
+						out[k] = dataset.Record{Key: dkey, Samples: prior}
+						continue
+					}
+					base := cost.Estimate(ch, cfg, tp)
+					if factors == nil {
+						factors = fault.NoiseFactors(key, 0, o.Runs, ch.NoiseSigma)
+					}
+					samples := make([]float64, len(factors))
+					for i, f := range factors {
+						samples[i] = base * f
+					}
+					out[k] = dataset.Record{Key: dkey, Samples: samples}
+					fresh = true
+				}
+				if ck != nil && fresh {
+					ck.appendJob(out, st)
 				}
 			}
 		}()
 	}
+feed:
 	for ji := range jobs {
-		next <- ji
+		select {
+		case next <- ji:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
 
-	d := dataset.New()
-	for i := range records {
-		d.Add(records[i])
+	ckErr := ""
+	if ck != nil {
+		ckErr = ck.close()
 	}
-	return d, nil
+	if err := ctx.Err(); err != nil {
+		// Completed shards are persisted (when checkpointing); the
+		// sweep can resume from them.
+		return nil, nil, err
+	}
+
+	d := dataset.New()
+	rep := &Report{
+		Cells:           len(records),
+		FailuresByKind:  map[fault.Kind]int{},
+		CheckpointError: ckErr,
+	}
+	if o.Faults != nil {
+		p := *o.Faults
+		p.Fill()
+		rep.Profile = &p
+		if inj != nil {
+			if chipName, from, ok := inj.DropoutPlan(); ok {
+				rep.DropoutChip, rep.DropoutFrom = chipName, from
+			}
+		}
+	}
+	for i := range records {
+		st := cells[i]
+		rep.Attempts += st.attempts
+		rep.Quarantined += st.quarantined
+		rep.WaitNS += st.waitNS
+		if st.measured {
+			rep.Measured++
+			if st.resumed {
+				rep.Resumed++
+			}
+			if st.attempts > 1 {
+				rep.Retried++
+			}
+			d.Add(records[i])
+			continue
+		}
+		ji := i / nc
+		cfg := configs[i%nc]
+		ch := o.Chips[jobs[ji].chipIdx]
+		tp := profiles[jobs[ji].traceIdx]
+		rep.Failures = append(rep.Failures, CellFailure{
+			Key: dataset.Key{
+				Tuple:  dataset.Tuple{Chip: ch.Name, App: tp.App, Input: tp.Input},
+				Config: cfg,
+			},
+			Reason:   st.failed,
+			Attempts: st.attempts,
+		})
+		rep.FailuresByKind[st.failed]++
+	}
+	return d, rep, nil
 }
 
 // Traces runs every (application, input) pair once and returns the
@@ -130,6 +325,9 @@ func Traces(o Options) ([]*cost.TraceProfile, error) {
 	var out []*cost.TraceProfile
 	for _, in := range o.Inputs {
 		for _, app := range o.Apps {
+			if err := o.Ctx.Err(); err != nil {
+				return nil, err
+			}
 			tr, output := app.Run(in)
 			if o.Validate {
 				if err := app.Check(in, output); err != nil {
@@ -138,24 +336,12 @@ func Traces(o Options) ([]*cost.TraceProfile, error) {
 			}
 			out = append(out, cost.NewTraceProfile(tr))
 			if o.Progress != nil {
-				fmt.Fprintf(o.Progress, "traced %s on %s: %d launches, %d edge work\n",
-					app.Name, in.Name, tr.TotalLaunches(), tr.TotalEdgeWork())
+				if _, err := fmt.Fprintf(o.Progress, "traced %s on %s: %d launches, %d edge work\n",
+					app.Name, in.Name, tr.TotalLaunches(), tr.TotalEdgeWork()); err != nil {
+					return nil, fmt.Errorf("measure: progress writer: %w", err)
+				}
 			}
 		}
 	}
 	return out, nil
-}
-
-// samples draws o.Runs noisy timings around base. The noise stream is
-// keyed by (seed, chip, app, input, config) so each cell's samples are
-// independent of sweep order.
-func samples(base float64, ch chip.Chip, cfg opt.Config, app, input string, o Options) []float64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%s|%s|%s|%s", o.Seed, ch.Name, app, input, cfg.String())
-	rng := stats.NewRNG(h.Sum64())
-	out := make([]float64, o.Runs)
-	for i := range out {
-		out[i] = base * rng.LogNormal(ch.NoiseSigma)
-	}
-	return out
 }

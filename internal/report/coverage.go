@@ -1,0 +1,85 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"gpuport/internal/dataset"
+	"gpuport/internal/fault"
+	"gpuport/internal/measure"
+)
+
+// Coverage renders the collection report's accounting: how much of the
+// intended sweep was measured and, for a partial dataset, exactly what
+// is missing and why. Every analysis printed next to this block is to
+// be read as "over the covered cells". A nil report renders nothing.
+func Coverage(w io.Writer, rep *measure.Report) {
+	if rep == nil {
+		return
+	}
+	fmt.Fprintf(w, "coverage: %d/%d cells measured (%.1f%%)",
+		rep.Measured, rep.Cells, rep.Coverage()*100)
+	if rep.Resumed > 0 {
+		fmt.Fprintf(w, ", %d resumed from checkpoint", rep.Resumed)
+	}
+	fmt.Fprintln(w)
+	if rep.CheckpointError != "" {
+		fmt.Fprintf(w, "warning: checkpointing failed (%s); this run is not resumable\n", rep.CheckpointError)
+	}
+	if rep.Complete() {
+		return
+	}
+	t := NewTable("Missing cells by failure kind", "Failure", "Cells", "Share").
+		RightAlign(1, 2)
+	missing := rep.Cells - rep.Measured
+	for _, k := range fault.SortKinds(rep.FailuresByKind) {
+		n := rep.FailuresByKind[k]
+		t.Row(k.String(), n, F(float64(n)/float64(missing)*100, 1)+"%")
+	}
+	t.Render(w)
+	if rep.DropoutChip != "" {
+		fmt.Fprintf(w, "chip %s dropped out at cell %d; all its later cells are missing\n",
+			rep.DropoutChip, rep.DropoutFrom)
+	}
+}
+
+// FaultSummary renders the fault-injection campaign: the profile the
+// sweep ran under and what the self-healing machinery absorbed. A
+// report without fault injection renders nothing.
+func FaultSummary(w io.Writer, rep *measure.Report) {
+	if rep == nil || rep.Profile == nil {
+		return
+	}
+	p := rep.Profile
+	fmt.Fprintf(w, "fault profile: %s\n", p.String())
+	t := NewTable("Fault-injection campaign", "Event", "Count").RightAlign(1)
+	t.Row("launch attempts", rep.Attempts)
+	t.Row("cells healed by retry", rep.Retried)
+	t.Row("samples quarantined", rep.Quarantined)
+	t.Row("cells lost", len(rep.Failures))
+	t.Render(w)
+	if rep.WaitNS > 0 {
+		fmt.Fprintf(w, "virtual time on backoffs and deadlines: %.2f ms\n", rep.WaitNS/1e6)
+	}
+}
+
+// PartialTuples lists the tuples whose configuration grids have holes,
+// with per-tuple coverage - the per-tuple view of a degraded dataset.
+// Fully covered datasets render nothing.
+func PartialTuples(w io.Writer, d *dataset.Dataset) {
+	var t *Table
+	for _, tp := range d.Tuples() {
+		c := d.TupleCoverage(tp)
+		if c >= 1 {
+			continue
+		}
+		if t == nil {
+			t = NewTable("Partially covered tuples", "Tuple", "Coverage", "bar").
+				RightAlign(1)
+		}
+		t.Row(tp.String(), F(c*100, 1)+"%", Bar(c, 20))
+	}
+	if t != nil {
+		t.Render(w)
+	}
+}

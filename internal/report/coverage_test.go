@@ -1,0 +1,121 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gpuport/internal/dataset"
+	"gpuport/internal/fault"
+	"gpuport/internal/measure"
+	"gpuport/internal/opt"
+)
+
+func partialReport() *measure.Report {
+	p := &fault.Profile{Seed: 1, Transient: 0.05, Dropout: 1}
+	p.Fill()
+	return &measure.Report{
+		Cells: 100, Measured: 90, Resumed: 10, Retried: 4,
+		Attempts: 110, Quarantined: 3, WaitNS: 2.5e6,
+		Failures: []measure.CellFailure{
+			{Reason: fault.Transient, Attempts: 5},
+			{Reason: fault.Dropout},
+		},
+		FailuresByKind: map[fault.Kind]int{fault.Transient: 2, fault.Dropout: 8},
+		Profile:        p,
+		DropoutChip:    "GTX1080",
+		DropoutFrom:    42,
+	}
+}
+
+func TestCoverageRendering(t *testing.T) {
+	var buf bytes.Buffer
+	Coverage(&buf, partialReport())
+	out := buf.String()
+	for _, want := range []string{
+		"90/100 cells measured (90.0%)",
+		"10 resumed from checkpoint",
+		"transient", "chip-dropout",
+		"GTX1080 dropped out at cell 42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("coverage output missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	Coverage(&buf, nil)
+	if buf.Len() != 0 {
+		t.Errorf("nil report rendered %q", buf.String())
+	}
+
+	buf.Reset()
+	Coverage(&buf, &measure.Report{Cells: 5, Measured: 5})
+	out = buf.String()
+	if !strings.Contains(out, "5/5 cells") || strings.Contains(out, "Missing") {
+		t.Errorf("complete report output wrong:\n%s", out)
+	}
+}
+
+func TestFaultSummaryRendering(t *testing.T) {
+	var buf bytes.Buffer
+	FaultSummary(&buf, partialReport())
+	out := buf.String()
+	for _, want := range []string{
+		"fault profile:", "launch attempts", "cells healed by retry",
+		"samples quarantined", "cells lost", "2.50 ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fault summary missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	FaultSummary(&buf, &measure.Report{Cells: 5, Measured: 5})
+	if buf.Len() != 0 {
+		t.Errorf("fault-free report rendered %q", buf.String())
+	}
+}
+
+func TestPartialTuplesAndSummaryCoverage(t *testing.T) {
+	d := dataset.New()
+	t1 := dataset.Tuple{Chip: "c1", App: "a1", Input: "i1"}
+	t2 := dataset.Tuple{Chip: "c2", App: "a1", Input: "i1"}
+	for i, cfg := range opt.All() {
+		d.Add(dataset.Record{Key: dataset.Key{Tuple: t1, Config: cfg}, Samples: []float64{float64(i + 1)}})
+		if i%2 == 0 {
+			d.Add(dataset.Record{Key: dataset.Key{Tuple: t2, Config: cfg}, Samples: []float64{float64(i + 1)}})
+		}
+	}
+
+	var buf bytes.Buffer
+	PartialTuples(&buf, d)
+	out := buf.String()
+	if !strings.Contains(out, t2.String()) {
+		t.Errorf("partial tuple %s not listed:\n%s", t2, out)
+	}
+	if strings.Contains(out, t1.String()) {
+		t.Errorf("complete tuple %s wrongly listed:\n%s", t1, out)
+	}
+
+	buf.Reset()
+	TuplesSummary(&buf, d)
+	if !strings.Contains(buf.String(), "partial:") {
+		t.Errorf("summary hides partial coverage: %q", buf.String())
+	}
+
+	// A complete dataset stays on the terse one-liner.
+	full := dataset.New()
+	for i, cfg := range opt.All() {
+		full.Add(dataset.Record{Key: dataset.Key{Tuple: t1, Config: cfg}, Samples: []float64{float64(i + 1)}})
+	}
+	buf.Reset()
+	TuplesSummary(&buf, full)
+	if strings.Contains(buf.String(), "partial") {
+		t.Errorf("complete dataset reported partial: %q", buf.String())
+	}
+	buf.Reset()
+	PartialTuples(&buf, full)
+	if buf.Len() != 0 {
+		t.Errorf("complete dataset rendered partial tuples: %q", buf.String())
+	}
+}

@@ -255,8 +255,14 @@ func StrategySlowdowns(w io.Writer, evals []analysis.StrategyEval) {
 	t.Render(w)
 }
 
-// TuplesSummary prints a one-line dataset summary.
+// TuplesSummary prints a one-line dataset summary. A dataset with holes
+// in its own grid additionally states its coverage, so no analysis is
+// ever presented as if it were complete.
 func TuplesSummary(w io.Writer, d *dataset.Dataset) {
-	fmt.Fprintf(w, "dataset: %d chips x %d apps x %d inputs = %d tuples, %d records\n",
+	fmt.Fprintf(w, "dataset: %d chips x %d apps x %d inputs = %d tuples, %d records",
 		len(d.Chips()), len(d.Apps()), len(d.Inputs()), len(d.Tuples()), d.Len())
+	if cov := d.Coverage(); cov < 1 {
+		fmt.Fprintf(w, " (partial: %.1f%% of the grid covered)", cov*100)
+	}
+	fmt.Fprintln(w)
 }

@@ -1,0 +1,55 @@
+package stats
+
+import "math"
+
+// Robust outlier machinery for the fault-tolerant measurement harness:
+// corrupted timing samples (truncated or wildly inflated readings from a
+// hung queue, a clock rollover, a driver hiccup) are quarantined before
+// they reach any mean, so one bad reading cannot poison a cell.
+
+// MAD returns the median absolute deviation of xs: the median of
+// |x - median(xs)|. It is the standard robust scale estimator (50%
+// breakdown point) and returns NaN for an empty slice.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	med := Median(xs)
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		devs[i] = math.Abs(x - med)
+	}
+	return Median(devs)
+}
+
+// RejectOutliers partitions xs into kept values (original order
+// preserved) and a rejected count. A value is rejected when its distance
+// from the median exceeds max(k*MAD, floorFrac*|median|).
+//
+// The relative floor matters for tiny samples: with three timings two of
+// which are nearly identical, the MAD collapses towards zero and a pure
+// k*MAD rule would reject the third genuine reading. The floor keeps any
+// value within floorFrac of the median, so only gross corruption (far
+// outside the run-to-run noise envelope) is quarantined. With fewer than
+// three values there is no basis for rejection and xs is kept whole.
+//
+// The rule is scale-invariant: multiplying every value by a positive
+// constant scales the median, the MAD and the floor identically, so the
+// same elements are rejected. The fault-injection replay path relies on
+// this to reconstruct quarantine decisions from unit-base noise factors.
+func RejectOutliers(xs []float64, k, floorFrac float64) (kept []float64, rejected int) {
+	if len(xs) < 3 {
+		return xs, 0
+	}
+	med := Median(xs)
+	limit := math.Max(k*MAD(xs), floorFrac*math.Abs(med))
+	kept = make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if math.Abs(x-med) > limit {
+			rejected++
+			continue
+		}
+		kept = append(kept, x)
+	}
+	return kept, rejected
+}

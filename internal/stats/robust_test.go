@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMAD(t *testing.T) {
+	if !math.IsNaN(MAD(nil)) {
+		t.Error("MAD(nil) should be NaN")
+	}
+	if got := MAD([]float64{1, 1, 1}); got != 0 {
+		t.Errorf("MAD of constants = %v, want 0", got)
+	}
+	// Median 3, deviations {2,1,0,1,2} -> MAD 1.
+	if got := MAD([]float64{1, 2, 3, 4, 5}); got != 1 {
+		t.Errorf("MAD = %v, want 1", got)
+	}
+}
+
+func TestRejectOutliersKeepsCleanSamples(t *testing.T) {
+	xs := []float64{0.98, 1.0, 1.03}
+	kept, rejected := RejectOutliers(xs, 8, 0.5)
+	if rejected != 0 || len(kept) != 3 {
+		t.Fatalf("clean samples quarantined: kept %v rejected %d", kept, rejected)
+	}
+}
+
+func TestRejectOutliersCatchesCorruption(t *testing.T) {
+	// One inflated and one truncated reading around a clean trio.
+	xs := []float64{1.01, 97.0, 0.99, 1.02, 0.002}
+	kept, rejected := RejectOutliers(xs, 8, 0.5)
+	if rejected != 2 {
+		t.Fatalf("rejected = %d, want 2 (kept %v)", rejected, kept)
+	}
+	want := []float64{1.01, 0.99, 1.02}
+	if len(kept) != len(want) {
+		t.Fatalf("kept = %v, want %v", kept, want)
+	}
+	for i := range want {
+		if kept[i] != want[i] {
+			t.Errorf("kept[%d] = %v, want %v (order must be preserved)", i, kept[i], want[i])
+		}
+	}
+}
+
+func TestRejectOutliersFloorGuardsCollapsedMAD(t *testing.T) {
+	// Two near-identical values collapse the MAD; the relative floor
+	// must keep the third genuine reading.
+	xs := []float64{1.0, 1.0, 1.1}
+	if kept, rejected := RejectOutliers(xs, 8, 0.5); rejected != 0 || len(kept) != 3 {
+		t.Fatalf("floor failed: kept %v rejected %d", kept, rejected)
+	}
+	// ... while a grossly corrupted third value is still caught.
+	xs = []float64{1.0, 1.0, 40.0}
+	if _, rejected := RejectOutliers(xs, 8, 0.5); rejected != 1 {
+		t.Fatalf("corruption survived collapsed MAD: rejected %d", rejected)
+	}
+}
+
+func TestRejectOutliersTinySamples(t *testing.T) {
+	xs := []float64{1, 100}
+	kept, rejected := RejectOutliers(xs, 8, 0.5)
+	if rejected != 0 || len(kept) != 2 {
+		t.Errorf("n<3 must not reject: kept %v rejected %d", kept, rejected)
+	}
+}
+
+func TestRejectOutliersScaleInvariant(t *testing.T) {
+	base := []float64{0.97, 1.0, 1.04, 55.0, 1.01}
+	for _, scale := range []float64{1, 3.5e6, 1e-9} {
+		xs := make([]float64, len(base))
+		for i, x := range base {
+			xs[i] = x * scale
+		}
+		_, rejected := RejectOutliers(xs, 8, 0.5)
+		if rejected != 1 {
+			t.Errorf("scale %g: rejected = %d, want 1", scale, rejected)
+		}
+	}
+}

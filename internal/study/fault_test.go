@@ -1,0 +1,97 @@
+package study
+
+import (
+	"testing"
+
+	"gpuport/internal/analysis"
+	"gpuport/internal/apps"
+	"gpuport/internal/chip"
+	"gpuport/internal/fault"
+	"gpuport/internal/graph"
+	"gpuport/internal/measure"
+)
+
+func faultedStudyOptions() measure.Options {
+	bfs, _ := apps.ByName("bfs-wl")
+	sssp, _ := apps.ByName("sssp-nf")
+	return measure.Options{
+		Seed:   5,
+		Runs:   3,
+		Chips:  chip.All()[:3],
+		Apps:   []apps.App{bfs, sssp},
+		Inputs: []*graph.Graph{graph.GenerateRoad("st-road", 30, 2)},
+	}
+}
+
+func TestStudyReportsCoverage(t *testing.T) {
+	s := smallStudy(t)
+	if s.Report() == nil {
+		t.Fatal("collected study has no report")
+	}
+	if s.Coverage() != 1 || !s.Report().Complete() {
+		t.Errorf("clean study coverage = %v", s.Coverage())
+	}
+	// CSV-loaded studies have no report and vacuous full coverage.
+	loaded := FromDataset(s.Dataset())
+	if loaded.Report() != nil || loaded.Coverage() != 1 {
+		t.Errorf("FromDataset study: report %v, coverage %v",
+			loaded.Report(), loaded.Coverage())
+	}
+}
+
+// TestStudySurvivesChipDropout is the end-to-end graceful-degradation
+// acceptance at the facade level: a whole chip drops out mid-sweep and
+// the full study pipeline still runs on the partial dataset.
+func TestStudySurvivesChipDropout(t *testing.T) {
+	o := faultedStudyOptions()
+	o.Faults = &fault.Profile{Seed: 4, Dropout: 1}
+	s, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Report()
+	if rep == nil || rep.DropoutChip == "" {
+		t.Fatalf("dropout did not fire: %+v", rep)
+	}
+	if s.Coverage() >= 1 || s.Coverage() <= 0 {
+		t.Fatalf("coverage = %v, want strictly partial", s.Coverage())
+	}
+
+	if got := len(s.Ranks()); got == 0 {
+		t.Error("Ranks empty on partial dataset")
+	}
+	if s.Global().Strategy == nil || s.PerChip().Strategy == nil {
+		t.Fatal("specialisation degenerated on partial dataset")
+	}
+	if got := len(s.Strategies()); got != 10 {
+		t.Errorf("strategies = %d, want 10", got)
+	}
+	evals, _ := s.Evaluations()
+	if len(evals) != 10 {
+		t.Errorf("evaluations = %d, want 10", len(evals))
+	}
+	if s.Heatmap() == nil {
+		t.Error("heatmap nil on partial dataset")
+	}
+	if len(s.Extremes()) == 0 {
+		t.Error("extremes empty on partial dataset")
+	}
+	if got := s.Specialise(analysis.Dims{Chip: true, App: true}); got == nil {
+		t.Error("deep specialisation nil on partial dataset")
+	}
+}
+
+func TestSeedStabilityUnderFaults(t *testing.T) {
+	o := faultedStudyOptions()
+	o.Faults = &fault.Profile{Seed: 6, Transient: 0.05, Corrupt: 0.03}
+	res, err := SeedStability(o, []uint64{5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RankTau) != 2 || len(res.ChipAgreement) != 2 {
+		t.Fatalf("malformed result: %+v", res)
+	}
+	if res.RankTau[0] != 1 || res.ChipAgreement[0] != 1 {
+		t.Errorf("reference seed must self-agree: %+v", res)
+	}
+}

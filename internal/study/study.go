@@ -17,6 +17,9 @@ import (
 // results. Safe for concurrent readers.
 type Study struct {
 	d *dataset.Dataset
+	// rep is the collection report when the study collected its own
+	// dataset; nil for FromDataset (e.g. CSV-loaded) studies.
+	rep *measure.Report
 
 	ranksOnce sync.Once
 	ranks     []analysis.ConfigRank
@@ -38,13 +41,18 @@ type Study struct {
 	extremes     []analysis.Extreme
 }
 
-// New collects a dataset with the given options and wraps it.
+// New collects a dataset with the given options and wraps it together
+// with the collection report. Under fault injection the dataset may be
+// partial; the analysis degrades to the covered cells and Coverage
+// reports how much of the intended sweep is present.
 func New(o measure.Options) (*Study, error) {
-	d, err := measure.Collect(o)
+	d, rep, err := measure.CollectReport(o)
 	if err != nil {
 		return nil, err
 	}
-	return FromDataset(d), nil
+	s := FromDataset(d)
+	s.rep = rep
+	return s, nil
 }
 
 // Default runs the standard full study (seed 42, 3 runs).
@@ -59,6 +67,14 @@ func FromDataset(d *dataset.Dataset) *Study {
 
 // Dataset returns the underlying dataset.
 func (s *Study) Dataset() *dataset.Dataset { return s.d }
+
+// Report returns the collection report, or nil when the study wraps a
+// pre-existing dataset.
+func (s *Study) Report() *measure.Report { return s.rep }
+
+// Coverage returns the fraction of the intended sweep that was
+// measured (1 when the study has no collection report).
+func (s *Study) Coverage() float64 { return s.rep.Coverage() }
 
 // Ranks returns the global configuration ranking (Table III).
 func (s *Study) Ranks() []analysis.ConfigRank {
