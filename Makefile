@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race ci bench bench-fault clean
+.PHONY: all vet build fmt-check lint test race ci bench bench-fault bench-trace bench-ci clean
 
 all: ci
 
@@ -10,6 +10,19 @@ vet:
 build:
 	$(GO) build ./...
 
+# fmt-check fails (listing the files) if anything is not gofmt-clean.
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# lint runs the repo-local static gate (see cmd/lintgate): gofmt
+# cleanliness plus the determinism rules (time.Now confined to the
+# instrumentation layers, math/rand confined to internal/stats).
+lint:
+	$(GO) run ./cmd/lintgate .
+
 test:
 	$(GO) test ./...
 
@@ -17,7 +30,7 @@ race:
 	$(GO) test -race ./...
 
 # ci is the full gate: everything a change must pass before merging.
-ci: vet build test race
+ci: vet build fmt-check lint test race
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -28,5 +41,29 @@ bench:
 bench-fault:
 	$(GO) test -run xxx -bench BenchmarkCollectFaultOverhead -benchtime 20x .
 
+# bench-trace records the trace-pipeline benchmarks in BENCH_trace.json
+# and enforces the pipeline's speedup claims: a warm cache is >= 10x
+# faster than cold tracing everywhere, and 4 workers are >= 2x faster
+# than serial wherever >= 4 CPUs exist (benchcheck skips that gate on
+# smaller machines, where the speedup is physically impossible).
+bench-trace:
+	$(GO) test -run xxx -bench '^(BenchmarkTraces|BenchmarkTracesParallel|BenchmarkTracesCached)$$' \
+		-benchtime 10x -benchmem . | tee bench-trace.out
+	$(GO) run ./cmd/benchcheck -in bench-trace.out -json BENCH_trace.json \
+		-speedup 'BenchmarkTraces,BenchmarkTracesParallel,2.0,4' \
+		-speedup 'BenchmarkTraces,BenchmarkTracesCached,10.0'
+	@rm -f bench-trace.out
+
+# bench-ci is the benchmark-regression job: the full suite recorded as
+# BENCH_ci.json, gated on the fault-layer overhead claim (zero-rate
+# faults within noise of no fault layer; 1.5x absorbs CI jitter).
+bench-ci:
+	$(GO) test -run xxx -bench=. -benchtime 10x -benchmem . | tee bench-ci.out
+	$(GO) run ./cmd/benchcheck -in bench-ci.out -json BENCH_ci.json \
+		-maxratio 'BenchmarkCollectFaultOverhead/no-fault-layer,BenchmarkCollectFaultOverhead/zero-rate-faults,1.5' \
+		-speedup 'BenchmarkTraces,BenchmarkTracesCached,10.0'
+	@rm -f bench-ci.out
+
 clean:
 	$(GO) clean ./...
+	rm -f bench-trace.out bench-ci.out

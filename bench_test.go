@@ -23,6 +23,7 @@ import (
 	"gpuport/internal/opt"
 	"gpuport/internal/stats"
 	"gpuport/internal/study"
+	"gpuport/internal/tracecache"
 )
 
 var (
@@ -259,6 +260,65 @@ func BenchmarkCollectFaultOverhead(b *testing.B) {
 		o.Faults = fault.Light()
 		collect(b, o)
 	})
+}
+
+// --- trace pipeline benchmarks: serial vs parallel vs cached ---
+//
+// All three run the standard app x input matrix (17 x 3 = 51 traces),
+// the exact workload every campaign pays before the sweep can start.
+// The speedup claims (parallel >= 2x at 4 workers, cached >= 10x over
+// cold) are enforced by cmd/benchcheck via `make bench-trace`, which
+// records the results in BENCH_trace.json.
+
+func benchTraces(b *testing.B, o measure.Options) {
+	b.Helper()
+	// Campaigns generate their inputs once per process; the benchmark
+	// measures the trace pipeline itself, not graph generation.
+	if o.Inputs == nil {
+		o.Inputs = graph.StandardInputs()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		profiles, err := measure.Traces(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(profiles) != 51 {
+			b.Fatalf("profiles = %d, want 51", len(profiles))
+		}
+	}
+	b.ReportMetric(51, "traces")
+}
+
+// BenchmarkTraces is the serial baseline: one worker, no cache (the
+// pre-pipeline harness behaviour).
+func BenchmarkTraces(b *testing.B) {
+	benchTraces(b, measure.Options{Workers: 1})
+}
+
+// BenchmarkTracesParallel runs the same matrix on a 4-worker pool.
+// The >= 2x speedup claim needs real cores; cmd/benchcheck only
+// enforces it when the recording machine had GOMAXPROCS >= 4.
+func BenchmarkTracesParallel(b *testing.B) {
+	benchTraces(b, measure.Options{Workers: 4})
+}
+
+// BenchmarkTracesCached runs the matrix against a fully warm trace
+// cache: every pair short-circuits to a verified read of its cached
+// trace.
+func BenchmarkTracesCached(b *testing.B) {
+	store, err := tracecache.Open(b.TempDir(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := measure.Options{Workers: 1, TraceCache: store, Inputs: graph.StandardInputs()}
+	if _, err := measure.Traces(o); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	benchTraces(b, o)
+	if st := store.Stats(); st.Hits == 0 {
+		b.Fatal("cached benchmark never hit the cache")
+	}
 }
 
 // --- workload generators: one bench per application per input class ---

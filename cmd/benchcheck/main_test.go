@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: gpuport
+cpu: Some CPU @ 3.00GHz
+BenchmarkTraces-4         	       5	 400000000 ns/op	        51.00 traces	24217728 B/op	  309934 allocs/op
+BenchmarkTracesParallel-4 	       5	 150000000 ns/op	        51.00 traces
+BenchmarkTracesCached-4   	      10	  20000000 ns/op	        51.00 traces
+BenchmarkCollectFaultOverhead/no-fault-layer-4   	      20	  50000000 ns/op
+BenchmarkCollectFaultOverhead/zero-rate-faults-4 	      20	  51000000 ns/op
+PASS
+ok  	gpuport	6.147s
+`
+
+// Single-CPU variant: Go omits the -N suffix when GOMAXPROCS is 1.
+const sampleBench1CPU = `BenchmarkTraces         	       5	 400000000 ns/op
+BenchmarkTracesParallel 	       5	 410000000 ns/op
+BenchmarkTracesCached   	      10	  20000000 ns/op
+PASS
+`
+
+func runCheck(t *testing.T, input string, args ...string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	err := run(args, strings.NewReader(input), &out)
+	return out.String(), err
+}
+
+func TestParse(t *testing.T) {
+	results, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("parsed %d results, want 5", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkTraces" || r.Procs != 4 || r.Iterations != 5 {
+		t.Errorf("first result = %+v", r)
+	}
+	if r.NsPerOp != 4e8 {
+		t.Errorf("ns/op = %v", r.NsPerOp)
+	}
+	if r.Metrics["traces"] != 51 || r.Metrics["B/op"] != 24217728 {
+		t.Errorf("metrics = %v", r.Metrics)
+	}
+	sub := results[3]
+	if sub.Name != "BenchmarkCollectFaultOverhead/no-fault-layer" || sub.Procs != 4 {
+		t.Errorf("subbench result = %+v", sub)
+	}
+}
+
+func TestParseNoProcsSuffix(t *testing.T) {
+	results, err := parse(strings.NewReader(sampleBench1CPU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Name != "BenchmarkTraces" || results[0].Procs != 1 {
+		t.Errorf("result = %+v", results[0])
+	}
+}
+
+func TestSpeedupPassAndFail(t *testing.T) {
+	out, err := runCheck(t, sampleBench,
+		"-speedup", "BenchmarkTraces,BenchmarkTracesParallel,2.0",
+		"-speedup", "BenchmarkTraces,BenchmarkTracesCached,10.0")
+	if err != nil {
+		t.Fatalf("passing assertions failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "PASS speedup BenchmarkTracesParallel") {
+		t.Errorf("output:\n%s", out)
+	}
+
+	out, err = runCheck(t, sampleBench,
+		"-speedup", "BenchmarkTraces,BenchmarkTracesParallel,5.0")
+	if err == nil {
+		t.Fatalf("impossible speedup passed:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL speedup") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestSpeedupCPUGuard(t *testing.T) {
+	// On a single-CPU record, the parallel assertion is skipped (not a
+	// silent pass): the machine cannot express the speedup.
+	out, err := runCheck(t, sampleBench1CPU,
+		"-speedup", "BenchmarkTraces,BenchmarkTracesParallel,2.0,4",
+		"-speedup", "BenchmarkTraces,BenchmarkTracesCached,10.0")
+	if err != nil {
+		t.Fatalf("guarded run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "SKIP speedup BenchmarkTracesParallel vs BenchmarkTraces: needs >= 4 CPUs") {
+		t.Errorf("output:\n%s", out)
+	}
+
+	// With enough CPUs the same spec binds.
+	out, err = runCheck(t, sampleBench,
+		"-speedup", "BenchmarkTraces,BenchmarkTracesParallel,2.0,4")
+	if err != nil || !strings.Contains(out, "PASS speedup") {
+		t.Errorf("err=%v output:\n%s", err, out)
+	}
+}
+
+func TestMaxRatioGuard(t *testing.T) {
+	out, err := runCheck(t, sampleBench,
+		"-maxratio", "BenchmarkCollectFaultOverhead/no-fault-layer,BenchmarkCollectFaultOverhead/zero-rate-faults,1.5")
+	if err != nil {
+		t.Fatalf("1.02x ratio failed a 1.5x bound: %v\n%s", err, out)
+	}
+	out, err = runCheck(t, sampleBench,
+		"-maxratio", "BenchmarkCollectFaultOverhead/no-fault-layer,BenchmarkCollectFaultOverhead/zero-rate-faults,1.01")
+	if err == nil {
+		t.Fatalf("drifted ratio passed:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL ratio") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if _, err := runCheck(t, sampleBench,
+		"-json", path,
+		"-speedup", "BenchmarkTraces,BenchmarkTracesCached,10.0"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Results) != 5 || len(rec.Assertions) != 1 {
+		t.Fatalf("record = %d results, %d assertions", len(rec.Results), len(rec.Assertions))
+	}
+	a := rec.Assertions[0]
+	if a.Status != "pass" || a.Factor != 20 {
+		t.Errorf("assertion = %+v", a)
+	}
+}
+
+func TestInputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.out")
+	if err := os.WriteFile(path, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-in", path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		input string
+		args  []string
+	}{
+		{"", nil}, // no results
+		{sampleBench, []string{"-speedup", "bad"}},
+		{sampleBench, []string{"-speedup", "a,b,notanumber"}},
+		{sampleBench, []string{"-speedup", "BenchmarkTraces,BenchmarkNope,2.0"}},
+		{sampleBench, []string{"-maxratio", "only,two"}},
+		{sampleBench, []string{"-maxratio", "BenchmarkNope,BenchmarkTraces,1.5"}},
+		{sampleBench, []string{"stray-arg"}},
+		{"BenchmarkX 5 garbage ns/op\n", nil},
+	}
+	for _, c := range cases {
+		if _, err := runCheck(t, c.input, c.args...); err == nil {
+			t.Errorf("run(%v) on %q should fail", c.args, c.input[:min(20, len(c.input))])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -40,7 +40,19 @@
 //	-resume file  persist completed cells to this checkpoint CSV as the
 //	              sweep runs; an interrupted run (Ctrl-C) restarted with
 //	              the same flag resumes bit-identically
-//	-workers N    collection worker count (default GOMAXPROCS)
+//	-trace-cache dir
+//	              content-addressed trace cache: (app, input) pairs
+//	              whose traces are cached skip execution entirely, so
+//	              repeated campaigns (and interrupted-then-retried
+//	              trace phases) are near-instant; the dataset is
+//	              bit-identical with or without the cache. Delete the
+//	              directory (or any file in it) to invalidate; damaged
+//	              entries are detected and re-traced
+//	-trace-cache-mb N
+//	              trace cache size cap in MiB (default 256); least-
+//	              recently-used entries are evicted beyond it
+//	-workers N    worker count for tracing and collection (default
+//	              GOMAXPROCS)
 //	-v            progress logging to stderr
 //	-md           render tables as markdown instead of aligned text
 package main
@@ -65,6 +77,7 @@ import (
 	"gpuport/internal/microbench"
 	"gpuport/internal/report"
 	"gpuport/internal/study"
+	"gpuport/internal/tracecache"
 )
 
 func main() {
@@ -94,7 +107,9 @@ func runCtx(ctx context.Context, args []string, w io.Writer) error {
 	outFile := fs.String("out", "", "save generated dataset to CSV")
 	faultSpec := fs.String("faults", "", "fault injection profile: none, light, heavy, or key=value pairs")
 	resume := fs.String("resume", "", "checkpoint CSV: persist completed cells and resume interrupted sweeps")
-	workers := fs.Int("workers", 0, "collection workers (default GOMAXPROCS)")
+	cacheDir := fs.String("trace-cache", "", "directory for the content-addressed trace cache (created if missing)")
+	cacheMB := fs.Int("trace-cache-mb", 0, "trace cache size cap in MiB (default 256)")
+	workers := fs.Int("workers", 0, "trace and collection workers (default GOMAXPROCS)")
 	verbose := fs.Bool("v", false, "progress logging")
 	md := fs.Bool("md", false, "render tables as markdown")
 	if err := fs.Parse(args); err != nil {
@@ -120,6 +135,13 @@ func runCtx(ctx context.Context, args []string, w io.Writer) error {
 	}
 	if *verbose {
 		opts.Progress = os.Stderr
+	}
+	if *cacheDir != "" {
+		store, err := tracecache.Open(*cacheDir, int64(*cacheMB)<<20)
+		if err != nil {
+			return err
+		}
+		opts.TraceCache = store
 	}
 	loader := func() (*study.Study, error) {
 		return loadOrCollect(*inFile, *outFile, opts)
@@ -340,6 +362,14 @@ func loadOrCollect(inFile, outFile string, opts measure.Options) (*study.Study, 
 	if err != nil {
 		return nil, err
 	}
+	if opts.Progress != nil {
+		// -v: stage wall-clock (trace vs sweep vs assemble) and cache
+		// counters go to the progress stream, never the report proper -
+		// wall-clock is not reproducible output.
+		if rep := s.Report(); rep != nil {
+			rep.Pipeline.Format(opts.Progress)
+		}
+	}
 	if outFile != "" {
 		f, err := os.Create(outFile)
 		if err != nil {
@@ -358,6 +388,9 @@ func loadOrCollect(inFile, outFile string, opts measure.Options) (*study.Study, 
 // checkpoint trouble. Clean non-resumed runs stay silent.
 func printCampaign(w io.Writer, s *study.Study) {
 	rep := s.Report()
+	// Trace-cache accounting renders whenever the cache saw traffic
+	// (and nothing otherwise), independently of fault eventfulness.
+	report.TraceCacheSummary(w, rep)
 	if rep == nil || !rep.Eventful() {
 		return
 	}

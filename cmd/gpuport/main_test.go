@@ -197,6 +197,49 @@ func TestFaultsFlagAndResume(t *testing.T) {
 	}
 }
 
+func TestTraceCacheFlag(t *testing.T) {
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "cache")
+	coldCSV := filepath.Join(dir, "cold.csv")
+	warmCSV := filepath.Join(dir, "warm.csv")
+
+	cold := runCLI(t, "-trace-cache", cache, "-out", coldCSV, "dataset")
+	if !strings.Contains(cold, "Trace cache") || !strings.Contains(cold, "misses (traced fresh)") {
+		t.Errorf("cold run missing trace-cache accounting:\n%s", cold)
+	}
+	entries, err := filepath.Glob(filepath.Join(cache, "*.trace"))
+	if err != nil || len(entries) != 51 {
+		t.Fatalf("cache entries = %d (%v), want 51 (17 apps x 3 inputs)", len(entries), err)
+	}
+
+	warm := runCLI(t, "-trace-cache", cache, "-out", warmCSV, "dataset")
+	if !strings.Contains(warm, "hit rate") || !strings.Contains(warm, "100.0%") {
+		t.Errorf("warm run not fully cached:\n%s", warm)
+	}
+	a, err := os.ReadFile(coldCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(warmCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("cold and warm cache runs produced different datasets")
+	}
+}
+
+func TestTraceCacheFlagRejectsBadDir(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "plain-file")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-trace-cache", file, "dataset"}, &buf); err == nil {
+		t.Fatal("regular file accepted as trace cache directory")
+	}
+}
+
 func TestBadFaultSpecRejected(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-faults", "bogus=1", "dataset"}, &buf); err == nil {

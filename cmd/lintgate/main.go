@@ -1,0 +1,155 @@
+// Command lintgate is the repo-local static gate behind `make lint`.
+// It needs nothing beyond the standard library, so CI can run it
+// without fetching tools, and it encodes rules specific to this
+// codebase rather than general style:
+//
+//   - every .go file must be gofmt-clean;
+//   - time.Now is confined to internal/obs, internal/tracecache,
+//     cmd/, and tests — everything else must be deterministic, since
+//     the measurement model is fully seeded and cached traces are
+//     required to be bit-identical across runs;
+//   - math/rand is forbidden outside internal/stats: all randomness
+//     flows through the seeded stats.RNG so results reproduce;
+//   - the unsafe package is not used at all.
+//
+// Usage: lintgate [root]  (default ".")
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// timeNowAllowed lists path prefixes (relative, slash-separated) where
+// reading the wall clock is legitimate: instrumentation, cache
+// freshness, and the CLI entry points.
+var timeNowAllowed = []string{
+	"internal/obs/",
+	"internal/tracecache/",
+	"cmd/",
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	violations, err := lint(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintgate:", err)
+		os.Exit(1)
+	}
+	for _, v := range violations {
+		fmt.Println(v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "lintgate: %d violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+}
+
+func lint(root string) ([]string, error) {
+	var violations []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		vs, err := lintFile(path, filepath.ToSlash(rel))
+		if err != nil {
+			return err
+		}
+		violations = append(violations, vs...)
+		return nil
+	})
+	return violations, err
+}
+
+func lintFile(path, rel string) ([]string, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var violations []string
+
+	formatted, err := format.Source(src)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", rel, err)
+	}
+	if !bytes.Equal(src, formatted) {
+		violations = append(violations, fmt.Sprintf("%s: not gofmt-clean (run gofmt -w)", rel))
+	}
+
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, src, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	isTest := strings.HasSuffix(rel, "_test.go")
+	timeName := "" // local name of the time package import, if any
+	for _, imp := range file.Imports {
+		ipath, _ := strconv.Unquote(imp.Path.Value)
+		switch ipath {
+		case "time":
+			timeName = "time"
+			if imp.Name != nil {
+				timeName = imp.Name.Name
+			}
+		case "math/rand", "math/rand/v2":
+			if !strings.HasPrefix(rel, "internal/stats/") {
+				violations = append(violations, fmt.Sprintf("%s:%d: %s is forbidden outside internal/stats (use the seeded stats.RNG)",
+					rel, fset.Position(imp.Pos()).Line, ipath))
+			}
+		case "unsafe":
+			violations = append(violations, fmt.Sprintf("%s:%d: unsafe is not used in this codebase",
+				rel, fset.Position(imp.Pos()).Line))
+		}
+	}
+
+	if timeName != "" && timeName != "_" && !isTest && !pathAllowed(rel, timeNowAllowed) {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if ok && id.Name == timeName && id.Obj == nil && (sel.Sel.Name == "Now" || sel.Sel.Name == "Since") {
+				violations = append(violations, fmt.Sprintf("%s:%d: time.%s outside the instrumentation layers (keep the model deterministic; see internal/obs)",
+					rel, fset.Position(sel.Pos()).Line, sel.Sel.Name))
+			}
+			return true
+		})
+	}
+	return violations, nil
+}
+
+func pathAllowed(rel string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(rel, p) {
+			return true
+		}
+	}
+	return false
+}

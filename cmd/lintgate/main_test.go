@@ -1,0 +1,131 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestCleanTreePasses(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/analysis/a.go": "package analysis\n\nfunc F() int { return 1 }\n",
+		"internal/obs/clock.go":  "package obs\n\nimport \"time\"\n\nfunc Now() time.Time { return time.Now() }\n",
+		"cmd/tool/main.go":       "package main\n\nimport \"time\"\n\nfunc main() { _ = time.Now() }\n",
+		"internal/stats/rng.go":  "package stats\n\nimport \"math/rand\"\n\nvar _ = rand.Int\n",
+	})
+	vs, err := lint(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("clean tree flagged: %v", vs)
+	}
+}
+
+func TestUnformattedFlagged(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a.go": "package a\n\nfunc  F()  int { return 1 }\n",
+	})
+	vs, err := lint(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || !strings.Contains(vs[0], "not gofmt-clean") {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestTimeNowConfinement(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/measure/m.go": "package measure\n\nimport \"time\"\n\nfunc F() time.Time { return time.Now() }\n",
+	})
+	vs, err := lint(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || !strings.Contains(vs[0], "time.Now outside") {
+		t.Fatalf("violations = %v", vs)
+	}
+
+	// The same call in a test file is fine.
+	root = writeTree(t, map[string]string{
+		"internal/measure/m_test.go": "package measure\n\nimport \"time\"\n\nvar T = time.Now()\n",
+	})
+	if vs, _ := lint(root); len(vs) != 0 {
+		t.Fatalf("test file flagged: %v", vs)
+	}
+
+	// Aliased imports don't evade the rule.
+	root = writeTree(t, map[string]string{
+		"internal/measure/m.go": "package measure\n\nimport clock \"time\"\n\nvar T = clock.Now()\n",
+	})
+	vs, _ = lint(root)
+	if len(vs) != 1 || !strings.Contains(vs[0], "time.Now outside") {
+		t.Fatalf("aliased violations = %v", vs)
+	}
+
+	// Uses of time that never read the clock are fine anywhere.
+	root = writeTree(t, map[string]string{
+		"internal/measure/m.go": "package measure\n\nimport \"time\"\n\nconst D = 5 * time.Second\n",
+	})
+	if vs, _ := lint(root); len(vs) != 0 {
+		t.Fatalf("time constant flagged: %v", vs)
+	}
+}
+
+func TestMathRandConfinement(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/apps/a.go": "package apps\n\nimport \"math/rand\"\n\nvar _ = rand.Int\n",
+	})
+	vs, err := lint(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || !strings.Contains(vs[0], "math/rand is forbidden") {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestUnsafeForbidden(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/x/a.go": "package x\n\nimport \"unsafe\"\n\nvar S = unsafe.Sizeof(0)\n",
+	})
+	vs, err := lint(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || !strings.Contains(vs[0], "unsafe") {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestRepoIsClean(t *testing.T) {
+	// The gate must hold on the repository that ships it.
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := lint(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("repository violates its own lint gate:\n%s", strings.Join(vs, "\n"))
+	}
+}

@@ -29,6 +29,12 @@ type App struct {
 	// Fastest marks the variant implementing the fastest known
 	// algorithm for the problem (the (*) rows of Table VII).
 	Fastest bool
+	// Version is the implementation's trace-compatibility token. A
+	// trace depends only on (application, input); the trace cache keys
+	// on (Name, Version, input fingerprint), so any change to an
+	// application that can alter its trace or output MUST bump its
+	// version here, or stale cached traces would be served.
+	Version string
 	// Run executes the application on g and returns the instrumented
 	// trace plus the application-specific output (distances, labels,
 	// counts, ...).
@@ -42,23 +48,23 @@ type App struct {
 // is freshly allocated; callers may reorder it.
 func All() []App {
 	return []App{
-		{Name: "bfs-wl", Problem: "BFS", Variant: "worklist", Fastest: false, Run: runBFSWL, Check: checkBFS},
-		{Name: "bfs-topo", Problem: "BFS", Variant: "topology", Fastest: false, Run: runBFSTopo, Check: checkBFS},
-		{Name: "bfs-hybrid", Problem: "BFS", Variant: "direction-opt", Fastest: true, Run: runBFSHybrid, Check: checkBFS},
-		{Name: "bfs-tp", Problem: "BFS", Variant: "two-phase", Fastest: false, Run: runBFSTP, Check: checkBFS},
-		{Name: "cc-sv", Problem: "CC", Variant: "shiloach-vishkin", Fastest: true, Run: runCCSV, Check: checkCC},
-		{Name: "cc-wl", Problem: "CC", Variant: "label-prop", Fastest: false, Run: runCCWL, Check: checkCC},
-		{Name: "mis-wl", Problem: "MIS", Variant: "worklist", Fastest: true, Run: runMISWL, Check: checkMIS},
-		{Name: "mis-topo", Problem: "MIS", Variant: "topology", Fastest: false, Run: runMISTopo, Check: checkMIS},
-		{Name: "mst-boruvka", Problem: "MST", Variant: "", Fastest: true, Run: runMSTBoruvka, Check: checkMST},
-		{Name: "pr-topo", Problem: "PR", Variant: "pull", Fastest: false, Run: runPRTopo, Check: checkPR},
-		{Name: "pr-residual", Problem: "PR", Variant: "push-residual", Fastest: true, Run: runPRResidual, Check: checkPR},
-		{Name: "sssp-wl", Problem: "SSSP", Variant: "worklist", Fastest: false, Run: runSSSPWL, Check: checkSSSP},
-		{Name: "sssp-topo", Problem: "SSSP", Variant: "topology", Fastest: false, Run: runSSSPTopo, Check: checkSSSP},
-		{Name: "sssp-nf", Problem: "SSSP", Variant: "near-far", Fastest: true, Run: runSSSPNF, Check: checkSSSP},
-		{Name: "tri-bs", Problem: "TRI", Variant: "binary-search", Fastest: false, Run: runTRIBS, Check: checkTRI},
-		{Name: "tri-merge", Problem: "TRI", Variant: "merge", Fastest: true, Run: runTRIMerge, Check: checkTRI},
-		{Name: "tri-hash", Problem: "TRI", Variant: "hash", Fastest: false, Run: runTRIHash, Check: checkTRI},
+		{Name: "bfs-wl", Problem: "BFS", Variant: "worklist", Fastest: false, Version: "1", Run: runBFSWL, Check: checkBFS},
+		{Name: "bfs-topo", Problem: "BFS", Variant: "topology", Fastest: false, Version: "1", Run: runBFSTopo, Check: checkBFS},
+		{Name: "bfs-hybrid", Problem: "BFS", Variant: "direction-opt", Fastest: true, Version: "1", Run: runBFSHybrid, Check: checkBFS},
+		{Name: "bfs-tp", Problem: "BFS", Variant: "two-phase", Fastest: false, Version: "1", Run: runBFSTP, Check: checkBFS},
+		{Name: "cc-sv", Problem: "CC", Variant: "shiloach-vishkin", Fastest: true, Version: "1", Run: runCCSV, Check: checkCC},
+		{Name: "cc-wl", Problem: "CC", Variant: "label-prop", Fastest: false, Version: "1", Run: runCCWL, Check: checkCC},
+		{Name: "mis-wl", Problem: "MIS", Variant: "worklist", Fastest: true, Version: "1", Run: runMISWL, Check: checkMIS},
+		{Name: "mis-topo", Problem: "MIS", Variant: "topology", Fastest: false, Version: "1", Run: runMISTopo, Check: checkMIS},
+		{Name: "mst-boruvka", Problem: "MST", Variant: "", Fastest: true, Version: "1", Run: runMSTBoruvka, Check: checkMST},
+		{Name: "pr-topo", Problem: "PR", Variant: "pull", Fastest: false, Version: "1", Run: runPRTopo, Check: checkPR},
+		{Name: "pr-residual", Problem: "PR", Variant: "push-residual", Fastest: true, Version: "1", Run: runPRResidual, Check: checkPR},
+		{Name: "sssp-wl", Problem: "SSSP", Variant: "worklist", Fastest: false, Version: "1", Run: runSSSPWL, Check: checkSSSP},
+		{Name: "sssp-topo", Problem: "SSSP", Variant: "topology", Fastest: false, Version: "1", Run: runSSSPTopo, Check: checkSSSP},
+		{Name: "sssp-nf", Problem: "SSSP", Variant: "near-far", Fastest: true, Version: "1", Run: runSSSPNF, Check: checkSSSP},
+		{Name: "tri-bs", Problem: "TRI", Variant: "binary-search", Fastest: false, Version: "1", Run: runTRIBS, Check: checkTRI},
+		{Name: "tri-merge", Problem: "TRI", Variant: "merge", Fastest: true, Version: "1", Run: runTRIMerge, Check: checkTRI},
+		{Name: "tri-hash", Problem: "TRI", Variant: "hash", Fastest: false, Version: "1", Run: runTRIHash, Check: checkTRI},
 	}
 }
 

@@ -96,6 +96,9 @@ func TestRegistryShape(t *testing.T) {
 		if a.Run == nil || a.Check == nil {
 			t.Errorf("%s: missing Run/Check", a.Name)
 		}
+		if a.Version == "" {
+			t.Errorf("%s: missing Version (the trace cache cannot key an unversioned app)", a.Name)
+		}
 		if a.Fastest {
 			fastestPerProblem[a.Problem]++
 		}

@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func fpGraph() *Graph {
+	b := NewBuilder("fp", ClassRandom, 4)
+	b.AddUndirected(0, 1, 3)
+	b.AddUndirected(1, 2, 5)
+	b.AddEdge(3, 0, 7)
+	return b.Build()
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a, b := fpGraph(), fpGraph()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical graphs produced different fingerprints")
+	}
+	if !strings.HasPrefix(a.Fingerprint(), "gfp2-") {
+		t.Fatalf("fingerprint %q missing scheme prefix", a.Fingerprint())
+	}
+}
+
+// TestFingerprintFrozen pins the exact fingerprint of a fixed graph.
+// Cached traces are keyed by fingerprints, so the scheme must not change
+// silently: if this test fails, bump fingerprintVersion.
+func TestFingerprintFrozen(t *testing.T) {
+	const want = "gfp2-ba9352a712f912a461babc60224afcff"
+	if got := fpGraph().Fingerprint(); got != want {
+		t.Fatalf("fingerprint scheme drifted:\n got %s\nwant %s\n(bump fingerprintVersion if the change is intentional)", got, want)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fpGraph().Fingerprint()
+
+	name := fpGraph()
+	name.Name = "fp2"
+	if name.Fingerprint() == base {
+		t.Error("renaming the graph did not change the fingerprint")
+	}
+
+	class := fpGraph()
+	class.Class = ClassSocial
+	if class.Fingerprint() == base {
+		t.Error("changing the class did not change the fingerprint")
+	}
+
+	weight := fpGraph()
+	weight.Weight[0]++
+	if weight.Fingerprint() == base {
+		t.Error("changing a weight did not change the fingerprint")
+	}
+
+	b := NewBuilder("fp", ClassRandom, 4)
+	b.AddUndirected(0, 1, 3)
+	b.AddUndirected(1, 2, 5)
+	b.AddEdge(0, 3, 7) // flipped direction vs fpGraph
+	if b.Build().Fingerprint() == base {
+		t.Error("changing the structure did not change the fingerprint")
+	}
+}
+
+// TestFingerprintBoundaries checks that moving an element across the
+// RowPtr/Dst array boundary cannot collide: the length prefixes keep the
+// encodings distinct even when the concatenated values agree.
+func TestFingerprintBoundaries(t *testing.T) {
+	a := &Graph{Name: "b", RowPtr: []int32{0, 1, 1}, Dst: []int32{1}, Weight: []int32{1}}
+	b := &Graph{Name: "b", RowPtr: []int32{0, 1, 1, 1}, Dst: []int32{1}, Weight: []int32{1}}
+	// b is invalid as a graph (lengths disagree with RowPtr tail) but
+	// the fingerprint must still distinguish the byte layouts.
+	b.Dst, b.Weight = b.Dst[:0], b.Weight[:0]
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("length-prefixing failed to separate boundary shifts")
+	}
+}
+
+func TestStandardInputsDistinctFingerprints(t *testing.T) {
+	seen := map[string]string{}
+	for _, g := range StandardInputs() {
+		fp := g.Fingerprint()
+		if prev, ok := seen[fp]; ok {
+			t.Fatalf("inputs %s and %s share fingerprint %s", prev, g.Name, fp)
+		}
+		seen[fp] = g.Name
+	}
+}

@@ -32,6 +32,19 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 	return bw.Flush()
 }
 
+// AppendJSONCompact appends the trace's single-line JSON encoding to
+// dst and returns the extended slice. It is the storage format of the
+// trace cache: the same schema as WriteJSON without indentation, so
+// ReadTraceJSON round-trips it losslessly (all counters are int64,
+// which encoding/json encodes and decodes exactly).
+func (t *Trace) AppendJSONCompact(dst []byte) ([]byte, error) {
+	b, err := json.Marshal(traceJSON{t.App, t.Input, t.Launches, t.Loops})
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, b...), nil
+}
+
 // ReadTraceJSON deserialises a trace written by WriteJSON.
 func ReadTraceJSON(r io.Reader) (*Trace, error) {
 	var tj traceJSON

@@ -52,6 +52,37 @@ func TestTraceJSONRoundTrip(t *testing.T) {
 	}
 }
 
+func TestTraceJSONCompactRoundTrip(t *testing.T) {
+	g := graph.GenerateUniform("json-g", 200, 4, 11)
+	rt := NewRuntime("compact-app", g)
+	k := rt.Launch("kernel")
+	k.ForAllNodes(func(it *Item, u int32) {
+		it.VisitEdges(u, func(v, w int32) {})
+	})
+	k.End()
+	tr := rt.Trace()
+
+	raw, err := tr.AppendJSONCompact(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.ContainsRune(raw, '\n') {
+		t.Error("compact encoding should be a single line")
+	}
+	got, err := ReadTraceJSON(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != tr.App || got.Input != tr.Input || len(got.Launches) != len(tr.Launches) {
+		t.Fatalf("compact round-trip mismatch: %s/%s, %d launches", got.App, got.Input, len(got.Launches))
+	}
+	for i := range tr.Launches {
+		if got.Launches[i] != tr.Launches[i] {
+			t.Errorf("launch %d mismatch", i)
+		}
+	}
+}
+
 func TestReadTraceJSONErrors(t *testing.T) {
 	if _, err := ReadTraceJSON(strings.NewReader("{nope")); err == nil {
 		t.Error("bad JSON should error")

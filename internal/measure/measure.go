@@ -27,7 +27,9 @@ import (
 	"gpuport/internal/dataset"
 	"gpuport/internal/fault"
 	"gpuport/internal/graph"
+	"gpuport/internal/obs"
 	"gpuport/internal/opt"
+	"gpuport/internal/tracecache"
 )
 
 // Options configures a collection run.
@@ -67,6 +69,16 @@ type Options struct {
 	// CheckpointEvery flushes the checkpoint after this many completed
 	// (chip, trace) jobs (default 4).
 	CheckpointEvery int
+
+	// TraceCache, when non-nil, short-circuits the trace phase through
+	// the content-addressed store: pairs whose traces are cached skip
+	// execution entirely, and fresh traces are written back. The
+	// resulting dataset is bit-identical to an uncached run.
+	TraceCache *tracecache.Store
+	// Obs receives stage timings (trace, sweep, assemble) and cache
+	// hit/miss counters; nil allocates a private recorder whose summary
+	// lands in the collection report.
+	Obs *obs.Recorder
 }
 
 func (o *Options) fill() {
@@ -87,6 +99,9 @@ func (o *Options) fill() {
 	}
 	if o.CheckpointEvery <= 0 {
 		o.CheckpointEvery = 4
+	}
+	if o.Obs == nil {
+		o.Obs = obs.New()
 	}
 }
 
@@ -133,6 +148,7 @@ func CollectReport(o Options) (*dataset.Dataset, *Report, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	stopSweep := o.Obs.Start("sweep")
 	configs := opt.All()
 	nc := len(configs)
 
@@ -258,6 +274,7 @@ feed:
 	close(next)
 	wg.Wait()
 
+	stopSweep()
 	ckErr := ""
 	if ck != nil {
 		ckErr = ck.close()
@@ -268,6 +285,7 @@ feed:
 		return nil, nil, err
 	}
 
+	stopAssemble := o.Obs.Start("assemble")
 	d := dataset.New()
 	rep := &Report{
 		Cells:           len(records),
@@ -314,34 +332,7 @@ feed:
 		})
 		rep.FailuresByKind[st.failed]++
 	}
+	stopAssemble()
+	rep.Pipeline = o.Obs.Summary()
 	return d, rep, nil
-}
-
-// Traces runs every (application, input) pair once and returns the
-// cost-model profiles. Exposed separately so microbenchmarks and
-// examples can reuse traces without collecting a full dataset.
-func Traces(o Options) ([]*cost.TraceProfile, error) {
-	o.fill()
-	var out []*cost.TraceProfile
-	for _, in := range o.Inputs {
-		for _, app := range o.Apps {
-			if err := o.Ctx.Err(); err != nil {
-				return nil, err
-			}
-			tr, output := app.Run(in)
-			if o.Validate {
-				if err := app.Check(in, output); err != nil {
-					return nil, fmt.Errorf("measure: %s on %s failed validation: %w", app.Name, in.Name, err)
-				}
-			}
-			out = append(out, cost.NewTraceProfile(tr))
-			if o.Progress != nil {
-				if _, err := fmt.Fprintf(o.Progress, "traced %s on %s: %d launches, %d edge work\n",
-					app.Name, in.Name, tr.TotalLaunches(), tr.TotalEdgeWork()); err != nil {
-					return nil, fmt.Errorf("measure: progress writer: %w", err)
-				}
-			}
-		}
-	}
-	return out, nil
 }

@@ -3,6 +3,7 @@ package measure
 import (
 	"gpuport/internal/dataset"
 	"gpuport/internal/fault"
+	"gpuport/internal/obs"
 )
 
 // CellFailure explains one missing cell of a partial dataset.
@@ -56,6 +57,27 @@ type Report struct {
 	// CheckpointError is non-empty when shard persistence failed; the
 	// sweep itself still completed.
 	CheckpointError string
+	// Pipeline is the stage-timing and counter summary of the run:
+	// trace / sweep / assemble wall-clock plus trace-cache hit, miss
+	// and put-error counts. Wall-clock varies run to run, so it is
+	// reported but never feeds the dataset.
+	Pipeline *obs.Summary
+}
+
+// TraceCacheHits returns the number of trace-phase cache hits.
+func (r *Report) TraceCacheHits() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.Pipeline.Counter("trace-cache-hits")
+}
+
+// TraceCacheMisses returns the number of trace-phase cache misses.
+func (r *Report) TraceCacheMisses() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.Pipeline.Counter("trace-cache-misses")
 }
 
 // Coverage returns the fraction of intended cells that were measured.

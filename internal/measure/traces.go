@@ -1,0 +1,201 @@
+package measure
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"gpuport/internal/apps"
+	"gpuport/internal/cost"
+	"gpuport/internal/graph"
+	"gpuport/internal/irgl"
+	"gpuport/internal/tracecache"
+)
+
+// tracePair is one (input, application) unit of the trace phase, in the
+// canonical input-major order the serial harness always used.
+type tracePair struct {
+	in  *graph.Graph
+	app apps.App
+}
+
+func tracePairs(o *Options) []tracePair {
+	pairs := make([]tracePair, 0, len(o.Inputs)*len(o.Apps))
+	for _, in := range o.Inputs {
+		for _, app := range o.Apps {
+			pairs = append(pairs, tracePair{in, app})
+		}
+	}
+	return pairs
+}
+
+// orderedProgress serialises per-pair progress lines back into the
+// canonical pair order, whatever order the workers complete in, so the
+// -v output of a parallel run is byte-identical to a serial run's.
+type orderedProgress struct {
+	w     io.Writer
+	mu    sync.Mutex
+	lines []string
+	ready []bool
+	next  int
+}
+
+func newOrderedProgress(w io.Writer, n int) *orderedProgress {
+	return &orderedProgress{w: w, lines: make([]string, n), ready: make([]bool, n)}
+}
+
+// emit records pair i's line and flushes every line that is now next in
+// order. Write errors abort the run (matching the serial harness).
+func (p *orderedProgress) emit(i int, line string) error {
+	if p.w == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.lines[i], p.ready[i] = line, true
+	for p.next < len(p.ready) && p.ready[p.next] {
+		if _, err := io.WriteString(p.w, p.lines[p.next]); err != nil {
+			return fmt.Errorf("measure: progress writer: %w", err)
+		}
+		p.lines[p.next] = ""
+		p.next++
+	}
+	return nil
+}
+
+// Traces obtains the cost-model profile of every (application, input)
+// pair. Exposed separately so microbenchmarks and examples can reuse
+// traces without collecting a full dataset.
+//
+// Pairs are traced concurrently by a worker pool (o.Workers, default
+// GOMAXPROCS); the returned slice is in the canonical input-major order
+// and bit-identical for any worker count, because every pair writes to
+// a pre-assigned slot and applications are deterministic. When
+// o.TraceCache is set, a pair whose trace is already cached under
+// (app, app version, input fingerprint, validate flag) skips execution
+// entirely; fresh traces are written back so an interrupted trace phase
+// resumes where it left off. Cancelling o.Ctx stops the pool between
+// pairs and returns the context's error.
+func Traces(o Options) ([]*cost.TraceProfile, error) {
+	o.fill()
+	defer o.Obs.Start("trace")()
+	pairs := tracePairs(&o)
+
+	// Fingerprint each input once, not once per pair: hashing a large
+	// graph 17 times would eat a good slice of a warm run's win.
+	var fps map[*graph.Graph]string
+	if o.TraceCache != nil {
+		fps = make(map[*graph.Graph]string, len(o.Inputs))
+		for _, in := range o.Inputs {
+			fps[in] = in.Fingerprint()
+		}
+	}
+
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// The first failure (validation, progress write) cancels the pool;
+	// o.Ctx cancellation is distinguished from it on the way out.
+	ctx, cancel := context.WithCancel(o.Ctx)
+	defer cancel()
+	var errOnce sync.Once
+	var firstErr error
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	results := make([]*cost.TraceProfile, len(pairs))
+	prog := newOrderedProgress(o.Progress, len(pairs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if ctx.Err() != nil {
+					continue // drain without starting new work
+				}
+				tr, cached, err := traceOne(&o, pairs[i], fps[pairs[i].in])
+				if err != nil {
+					fail(err)
+					continue
+				}
+				results[i] = cost.NewTraceProfile(tr)
+				verb := "traced"
+				if cached {
+					verb = "cached"
+				}
+				if err := prog.emit(i, fmt.Sprintf("%s %s on %s: %d launches, %d edge work\n",
+					verb, tr.App, tr.Input, tr.TotalLaunches(), tr.TotalEdgeWork())); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+feed:
+	for i := range pairs {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	if err := o.Ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// traceOne produces the trace of one pair, through the cache when one
+// is configured. The reported cached flag is true for a cache hit.
+func traceOne(o *Options, p tracePair, fp string) (*irgl.Trace, bool, error) {
+	var key tracecache.Key
+	if o.TraceCache != nil {
+		key = tracecache.Key{App: p.app.Name, AppVersion: p.app.Version, GraphFP: fp, Validated: o.Validate}
+		if tr, ok := o.TraceCache.Get(key); ok {
+			// Belt and braces: the key's fingerprint already pins the
+			// identity, but a tampered entry with a valid checksum must
+			// still never impersonate another pair.
+			if tr.App == p.app.Name && tr.Input == p.in.Name {
+				o.Obs.Add("trace-cache-hits", 1)
+				return tr, true, nil
+			}
+			o.Obs.Add("trace-cache-mismatches", 1)
+		}
+		o.Obs.Add("trace-cache-misses", 1)
+	}
+	tr, output := p.app.Run(p.in)
+	if o.Validate {
+		if err := p.app.Check(p.in, output); err != nil {
+			return nil, false, fmt.Errorf("measure: %s on %s failed validation: %w", p.app.Name, p.in.Name, err)
+		}
+	}
+	if o.TraceCache != nil {
+		// A failed write is an observability event, not a failure: the
+		// trace is good, it just will not be cached.
+		if err := o.TraceCache.Put(key, tr); err != nil {
+			o.Obs.Add("trace-cache-put-errors", 1)
+		}
+	}
+	return tr, false, nil
+}

@@ -1,0 +1,163 @@
+// Package obs is a lightweight observability layer for the measurement
+// pipeline: named wall-clock stage timers (trace vs. sweep vs.
+// analysis) and integer counters (cache hits, misses, ...), accumulated
+// concurrently and summarised deterministically.
+//
+// It deliberately measures only the harness, never the simulated
+// experiment: stage durations are real wall-clock and therefore vary
+// run to run, so they are reported alongside the dataset (in
+// measure.Report and the CLI) but never feed into it.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Stage is one named phase's accumulated wall-clock.
+type Stage struct {
+	Name     string
+	Duration time.Duration
+	// Calls counts how many timed sections contributed to Duration.
+	Calls int
+}
+
+// Counter is one named monotonic count.
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// Summary is an immutable snapshot of a Recorder, with stages and
+// counters in first-use order (deterministic for a fixed code path).
+type Summary struct {
+	Stages   []Stage
+	Counters []Counter
+}
+
+// Counter returns the value of the named counter (0 when absent).
+func (s *Summary) Counter(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// StageDuration returns the accumulated duration of the named stage
+// (0 when absent).
+func (s *Summary) StageDuration(name string) time.Duration {
+	if s == nil {
+		return 0
+	}
+	for _, st := range s.Stages {
+		if st.Name == name {
+			return st.Duration
+		}
+	}
+	return 0
+}
+
+// Format writes the summary as "stage trace 1.2s | stage sweep 3.4s |
+// hits 51" lines, one item per line, for -v logging.
+func (s *Summary) Format(w io.Writer) {
+	if s == nil {
+		return
+	}
+	for _, st := range s.Stages {
+		fmt.Fprintf(w, "pipeline: stage %-10s %12s  (%d sections)\n", st.Name, st.Duration.Round(time.Microsecond), st.Calls)
+	}
+	for _, c := range s.Counters {
+		fmt.Fprintf(w, "pipeline: %-16s %8d\n", c.Name, c.Value)
+	}
+}
+
+// Recorder accumulates stages and counters. Safe for concurrent use;
+// the zero value is NOT usable, call New.
+type Recorder struct {
+	// now is the clock; tests may swap it before concurrent use begins.
+	now func() time.Time
+
+	mu       sync.Mutex
+	stages   []Stage
+	stageIdx map[string]int
+	counters []Counter
+	countIdx map[string]int
+}
+
+// New returns an empty recorder using the real clock.
+func New() *Recorder {
+	return &Recorder{
+		now:      time.Now,
+		stageIdx: map[string]int{},
+		countIdx: map[string]int{},
+	}
+}
+
+// NewWithClock returns a recorder on an injected clock (tests).
+func NewWithClock(now func() time.Time) *Recorder {
+	r := New()
+	r.now = now
+	return r
+}
+
+// Start begins timing one section of the named stage; the returned stop
+// function adds the elapsed time. Typical use:
+//
+//	defer rec.Start("trace")()
+func (r *Recorder) Start(name string) (stop func()) {
+	if r == nil {
+		return func() {}
+	}
+	t0 := r.now()
+	return func() {
+		d := r.now().Sub(t0)
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		i, ok := r.stageIdx[name]
+		if !ok {
+			i = len(r.stages)
+			r.stageIdx[name] = i
+			r.stages = append(r.stages, Stage{Name: name})
+		}
+		r.stages[i].Duration += d
+		r.stages[i].Calls++
+	}
+}
+
+// Add increments the named counter by delta. A nil recorder is a no-op,
+// so instrumented code never needs nil checks.
+func (r *Recorder) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i, ok := r.countIdx[name]
+	if !ok {
+		i = len(r.counters)
+		r.countIdx[name] = i
+		r.counters = append(r.counters, Counter{Name: name})
+	}
+	r.counters[i].Value += delta
+}
+
+// Summary snapshots the recorder. The recorder remains usable; later
+// snapshots include earlier activity.
+func (r *Recorder) Summary() *Summary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &Summary{
+		Stages:   append([]Stage(nil), r.stages...),
+		Counters: append([]Counter(nil), r.counters...),
+	}
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a fixed step per reading, so stage durations are
+// exact and the tests are immune to scheduler jitter.
+func fakeClock(step time.Duration) func() time.Time {
+	var mu sync.Mutex
+	t := time.Unix(0, 0)
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		t = t.Add(step)
+		return t
+	}
+}
+
+func TestStagesAndCounters(t *testing.T) {
+	r := NewWithClock(fakeClock(time.Millisecond))
+	stop := r.Start("trace")
+	stop()
+	stop = r.Start("sweep")
+	stop()
+	stop = r.Start("trace")
+	stop()
+	r.Add("hits", 2)
+	r.Add("misses", 1)
+	r.Add("hits", 3)
+
+	s := r.Summary()
+	if len(s.Stages) != 2 || s.Stages[0].Name != "trace" || s.Stages[1].Name != "sweep" {
+		t.Fatalf("stages = %+v, want trace then sweep (first-use order)", s.Stages)
+	}
+	// Each Start/stop pair reads the clock twice -> 1ms per section.
+	if d := s.StageDuration("trace"); d != 2*time.Millisecond {
+		t.Errorf("trace duration = %v, want 2ms", d)
+	}
+	if s.Stages[0].Calls != 2 || s.Stages[1].Calls != 1 {
+		t.Errorf("calls = %d/%d, want 2/1", s.Stages[0].Calls, s.Stages[1].Calls)
+	}
+	if s.Counter("hits") != 5 || s.Counter("misses") != 1 {
+		t.Errorf("counters = %+v", s.Counters)
+	}
+	if s.Counter("absent") != 0 || s.StageDuration("absent") != 0 {
+		t.Error("absent names should read as zero")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	r.Start("x")()
+	r.Add("y", 1)
+	if r.Summary() != nil {
+		t.Error("nil recorder should summarise to nil")
+	}
+	var s *Summary
+	if s.Counter("x") != 0 || s.StageDuration("x") != 0 {
+		t.Error("nil summary should read as zero")
+	}
+	s.Format(nil) // must not panic
+}
+
+func TestSummaryIsSnapshot(t *testing.T) {
+	r := NewWithClock(fakeClock(time.Millisecond))
+	r.Add("n", 1)
+	s1 := r.Summary()
+	r.Add("n", 1)
+	if s1.Counter("n") != 1 {
+		t.Error("summary mutated after snapshot")
+	}
+	if r.Summary().Counter("n") != 2 {
+		t.Error("recorder stopped accumulating after snapshot")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	r := NewWithClock(fakeClock(time.Second))
+	r.Start("trace")()
+	r.Add("trace-cache-hits", 51)
+	var b strings.Builder
+	r.Summary().Format(&b)
+	out := b.String()
+	for _, want := range []string{"stage trace", "1s", "trace-cache-hits", "51"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Start("stage")()
+				r.Add("count", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Summary()
+	if s.Counter("count") != 800 {
+		t.Errorf("count = %d, want 800", s.Counter("count"))
+	}
+	if s.Stages[0].Calls != 800 {
+		t.Errorf("calls = %d, want 800", s.Stages[0].Calls)
+	}
+}

@@ -1,0 +1,37 @@
+package report
+
+import (
+	"io"
+
+	"gpuport/internal/measure"
+)
+
+// TraceCacheSummary renders the trace-cache traffic of a collection run
+// as a table. Runs without cache activity render nothing, so callers
+// can invoke it unconditionally. Only counters appear here - they are
+// deterministic for a given cache state - while wall-clock stage
+// timings go to the verbose log (obs.Summary.Format).
+func TraceCacheSummary(w io.Writer, rep *measure.Report) {
+	if rep == nil || rep.Pipeline == nil {
+		return
+	}
+	hits, misses := rep.TraceCacheHits(), rep.TraceCacheMisses()
+	putErrs := rep.Pipeline.Counter("trace-cache-put-errors")
+	mismatches := rep.Pipeline.Counter("trace-cache-mismatches")
+	if hits+misses+putErrs+mismatches == 0 {
+		return
+	}
+	t := NewTable("Trace cache", "Metric", "Value").RightAlign(1)
+	t.Row("hits (execution skipped)", hits)
+	t.Row("misses (traced fresh)", misses)
+	if total := hits + misses; total > 0 {
+		t.Row("hit rate", F(float64(hits)/float64(total)*100, 1)+"%")
+	}
+	if mismatches > 0 {
+		t.Row("identity mismatches (re-traced)", mismatches)
+	}
+	if putErrs > 0 {
+		t.Row("write errors (not cached)", putErrs)
+	}
+	t.Render(w)
+}

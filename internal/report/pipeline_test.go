@@ -1,0 +1,35 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"gpuport/internal/measure"
+	"gpuport/internal/obs"
+)
+
+func TestTraceCacheSummary(t *testing.T) {
+	var b strings.Builder
+	TraceCacheSummary(&b, nil)
+	TraceCacheSummary(&b, &measure.Report{})
+	TraceCacheSummary(&b, &measure.Report{Pipeline: &obs.Summary{}})
+	if b.Len() != 0 {
+		t.Fatalf("inactive cache rendered output:\n%s", b.String())
+	}
+
+	rep := &measure.Report{Pipeline: &obs.Summary{Counters: []obs.Counter{
+		{Name: "trace-cache-hits", Value: 48},
+		{Name: "trace-cache-misses", Value: 3},
+		{Name: "trace-cache-put-errors", Value: 1},
+	}}}
+	TraceCacheSummary(&b, rep)
+	out := b.String()
+	for _, want := range []string{"Trace cache", "48", "3", "94.1%", "write errors"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "identity mismatches") {
+		t.Error("mismatch row rendered without mismatches")
+	}
+}
