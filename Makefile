@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build fmt-check lint test race ci bench bench-fault bench-trace bench-ci clean
+.PHONY: all vet build fmt-check lint test race conform conform-mutate fuzz cover ci bench bench-fault bench-trace bench-ci clean
 
 all: ci
 
@@ -29,8 +29,45 @@ test:
 race:
 	$(GO) test -race ./...
 
+# conform runs the differential conformance engine (see
+# internal/conform) twice with the standard budget and requires the two
+# JSON reports to be bit-identical: one run proves the tree conforms,
+# the comparison proves the engine itself is deterministic.
+conform:
+	$(GO) run ./cmd/conform -trials 200 -seed 1 -o conform-a.json
+	$(GO) run ./cmd/conform -trials 200 -seed 1 -o conform-b.json 2>/dev/null
+	cmp conform-a.json conform-b.json
+	@rm -f conform-a.json conform-b.json
+
+# conform-mutate is the engine's own sanity check: every deliberate bug
+# behind the conformmutate build tag must be caught by a named property
+# or by the differential pillar (-v so the shrunk counterexample and its
+# reproduction seed are visible in the log).
+conform-mutate:
+	$(GO) test -tags conformmutate ./internal/conform -run TestMutation -v
+
+# fuzz runs every fuzz target briefly; long exploratory sessions should
+# raise -fuzztime by hand. Minimization is capped so a short budget is
+# spent fuzzing rather than shrinking interesting inputs.
+FUZZTIME ?= 15s
+fuzz:
+	$(GO) test ./internal/conform -run '^$$' -fuzz '^FuzzConformTrial$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 5s
+	$(GO) test ./internal/graph -run '^$$' -fuzz '^FuzzFingerprint$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 5s
+	$(GO) test ./internal/tracecache -run '^$$' -fuzz '^FuzzEntryDecode$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 5s
+
+# cover enforces statement-coverage floors on the packages carrying the
+# study's correctness burden (see cmd/covercheck). Floors sit a few
+# points under current coverage: the gate catches collapses, not drift.
+cover:
+	$(GO) test -cover ./... > cover.out || { cat cover.out; rm -f cover.out; exit 1; }
+	$(GO) run ./cmd/covercheck -in cover.out \
+		-floor gpuport/internal/apps,90 \
+		-floor gpuport/internal/cost,92 \
+		-floor gpuport/internal/irgl,89
+	@rm -f cover.out
+
 # ci is the full gate: everything a change must pass before merging.
-ci: vet build fmt-check lint test race
+ci: vet build fmt-check lint test race conform conform-mutate cover
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -66,4 +103,4 @@ bench-ci:
 
 clean:
 	$(GO) clean ./...
-	rm -f bench-trace.out bench-ci.out
+	rm -f bench-trace.out bench-ci.out cover.out conform-a.json conform-b.json

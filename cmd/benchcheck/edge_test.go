@@ -1,0 +1,141 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Table-driven edge cases for the benchmark-output parser. The parser
+// sits between `go test -bench` and the CI gates, so what it does with
+// degenerate input decides whether a broken benchmark run fails loudly
+// (good) or silently passes the gate (very bad). Each case pins one
+// behaviour: what is skipped as chatter, what is a hard parse error,
+// and what the run driver does when nothing parses at all.
+func TestParseEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		input   string
+		want    int    // parsed results (when wantErr == "")
+		wantErr string // substring of the expected parse error
+		check   func(t *testing.T, results []result)
+	}{
+		{
+			name:  "empty input",
+			input: "",
+			want:  0,
+		},
+		{
+			name: "headers and chatter only",
+			input: "goos: linux\ngoarch: amd64\npkg: gpuport\n" +
+				"cpu: Some CPU @ 3.00GHz\nPASS\nok  \tgpuport\t1.2s\n",
+			want: 0,
+		},
+		{
+			name: "slash names keep sub-benchmark path and strip procs",
+			input: "BenchmarkA/sub-case/deep-8 \t 10\t 100 ns/op\n" +
+				"BenchmarkA/other-name 	 10	 200 ns/op\n",
+			want: 2,
+			check: func(t *testing.T, rs []result) {
+				if rs[0].Name != "BenchmarkA/sub-case/deep" || rs[0].Procs != 8 {
+					t.Errorf("slash+procs name parsed as %+v", rs[0])
+				}
+				// "-name" ends in a non-numeric suffix: it is part of the
+				// benchmark's own name, not a GOMAXPROCS marker.
+				if rs[1].Name != "BenchmarkA/other-name" || rs[1].Procs != 1 {
+					t.Errorf("hyphenated name parsed as %+v", rs[1])
+				}
+			},
+		},
+		{
+			name:  "missing allocs columns still parses ns/op",
+			input: "BenchmarkLean-2 \t 100\t 5000 ns/op\n",
+			want:  1,
+			check: func(t *testing.T, rs []result) {
+				if rs[0].NsPerOp != 5000 || len(rs[0].Metrics) != 0 {
+					t.Errorf("lean line parsed as %+v", rs[0])
+				}
+			},
+		},
+		{
+			name:  "full allocs columns become metrics",
+			input: "BenchmarkFat-2 \t 100\t 5000 ns/op\t 2048 B/op\t 17 allocs/op\n",
+			want:  1,
+			check: func(t *testing.T, rs []result) {
+				if rs[0].Metrics["B/op"] != 2048 || rs[0].Metrics["allocs/op"] != 17 {
+					t.Errorf("alloc metrics = %v", rs[0].Metrics)
+				}
+			},
+		},
+		{
+			name: "FAIL chatter on a benchmark line is skipped",
+			input: "BenchmarkBroken--- FAIL: BenchmarkBroken\nBenchmarkBroken \t--- FAIL rest of line\n" +
+				"BenchmarkOK-2 \t 10\t 100 ns/op\n",
+			want: 1,
+			check: func(t *testing.T, rs []result) {
+				if rs[0].Name != "BenchmarkOK" {
+					t.Errorf("survivor = %+v", rs[0])
+				}
+			},
+		},
+		{
+			name:    "benchmark line without ns/op is an error",
+			input:   "BenchmarkNoTime-2 \t 10\t 51.00 traces\t 2048 B/op\n",
+			wantErr: "no ns/op",
+		},
+		{
+			name:    "malformed value column is an error",
+			input:   "BenchmarkBadValue-2 \t 10\t abc ns/op\n",
+			wantErr: "bad value",
+		},
+		{
+			name: "truncated line (iterations only) is skipped as chatter",
+			// Two fields is below the 4-field minimum for a benchmark
+			// line; treating it as chatter (not an error) matches how go
+			// test interleaves progress output.
+			input: "BenchmarkTruncated-2 \t 10\nBenchmarkOK-2 \t 10\t 100 ns/op\n",
+			want:  1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			results, err := parse(strings.NewReader(tc.input))
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if len(results) != tc.want {
+				t.Fatalf("parsed %d results, want %d: %+v", len(results), tc.want, results)
+			}
+			if tc.check != nil {
+				tc.check(t, results)
+			}
+		})
+	}
+}
+
+// TestRunRejectsEmptyBench: a bench run that produced no parseable
+// results must fail the gate rather than vacuously pass it.
+func TestRunRejectsEmptyBench(t *testing.T) {
+	_, err := runCheck(t, "PASS\nok  \tgpuport\t0.1s\n")
+	if err == nil || !strings.Contains(err.Error(), "no benchmark results") {
+		t.Fatalf("err = %v, want 'no benchmark results'", err)
+	}
+}
+
+// TestAssertionAgainstMissingBenchmark: naming an absent benchmark in a
+// gate is a hard error listing what was found, not a silent skip.
+func TestAssertionAgainstMissingBenchmark(t *testing.T) {
+	input := "BenchmarkOnly-2 \t 10\t 100 ns/op\n"
+	_, err := runCheck(t, input, "-speedup", "BenchmarkOnly,BenchmarkGone,2.0")
+	if err == nil || !strings.Contains(err.Error(), `"BenchmarkGone" not in input`) {
+		t.Fatalf("err = %v, want missing-benchmark error", err)
+	}
+	if !strings.Contains(err.Error(), "BenchmarkOnly") {
+		t.Fatalf("err = %v, want the have-list to name BenchmarkOnly", err)
+	}
+}

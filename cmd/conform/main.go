@@ -1,0 +1,182 @@
+// Command conform runs the differential conformance engine
+// (internal/conform): randomized cross-validation of the 17
+// applications against their sequential references, plus the
+// metamorphic property registry over the cost model, the chip table and
+// the optimisation space.
+//
+// The JSON report on stdout is byte-identical across runs with equal
+// flags; the exit status is 1 when any conformance failure was found.
+//
+//	conform -trials 200 -seed 1              # full run, JSON on stdout
+//	conform -props cost-finite-positive      # one property only
+//	conform -list                            # registered property names
+//	conform -repro 0xdeadbeef                # regenerate one trial graph
+//	                                         # and re-run the apps on it
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gpuport/internal/apps"
+	"gpuport/internal/conform"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "conform:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("conform", flag.ContinueOnError)
+	trials := fs.Int("trials", 100, "trial budget per pillar")
+	seed := fs.Uint64("seed", 1, "master seed; all randomness derives from it")
+	props := fs.String("props", "", "comma-separated property names to run (default all)")
+	appsFlag := fs.String("apps", "", "comma-separated application names to validate (default all)")
+	list := fs.Bool("list", false, "list registered property names and exit")
+	repro := fs.String("repro", "", "trial seed (decimal or 0x hex) to reproduce: print the graph and re-run the apps on it")
+	out := fs.String("o", "", "write the JSON report to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, n := range conform.PropertyNames() {
+			fmt.Println(n)
+		}
+		return nil
+	}
+	if *repro != "" {
+		return reproduce(*repro, splitList(*appsFlag))
+	}
+
+	rep, err := conform.Run(conform.Options{
+		Trials: *trials,
+		Seed:   *seed,
+		Props:  splitList(*props),
+		Apps:   splitList(*appsFlag),
+	})
+	if err != nil {
+		return err
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+	} else {
+		os.Stdout.Write(blob)
+	}
+
+	summarize(os.Stderr, rep)
+	if rep.Failures > 0 {
+		return fmt.Errorf("%d conformance failure(s)", rep.Failures)
+	}
+	return nil
+}
+
+func summarize(w *os.File, rep *conform.Report) {
+	appFails := 0
+	for _, ar := range rep.Apps {
+		appFails += len(ar.Failures) + ar.Unreported
+	}
+	propFails := 0
+	for _, pr := range rep.Props {
+		if pr.Status != "pass" {
+			propFails++
+		}
+	}
+	fmt.Fprintf(w, "conform: seed %d, %d trials: %d apps (%d failing trials), %d properties (%d failing)\n",
+		rep.Seed, rep.Trials, len(rep.Apps), appFails, len(rep.Props), propFails)
+	for _, ar := range rep.Apps {
+		for _, f := range ar.Failures {
+			fmt.Fprintf(w, "  FAIL %s seed=%#x family=%s: %s\n", ar.App, f.TrialSeed, f.Family, f.Error)
+			fmt.Fprintf(w, "       shrunk to %d nodes / %d undirected edges: %s\n",
+				f.ShrunkNodes, f.ShrunkEdges/2, f.ShrunkError)
+			fmt.Fprintf(w, "       counterexample edges: %s\n", strings.Join(f.Counterexample, ", "))
+			fmt.Fprintf(w, "       reproduce: conform -repro %#x -apps %s\n", f.TrialSeed, ar.App)
+		}
+	}
+	for _, pr := range rep.Props {
+		if pr.Status != "pass" {
+			fmt.Fprintf(w, "  FAIL property %s: %s\n", pr.Name, pr.Error)
+		}
+	}
+}
+
+// reproduce regenerates the trial graph for a reported seed and re-runs
+// the (selected) applications on it, printing the graph so the failure
+// can be inspected by hand.
+func reproduce(seedStr string, appNames []string) error {
+	seed, err := strconv.ParseUint(strings.TrimPrefix(seedStr, "0x"), pickBase(seedStr), 64)
+	if err != nil {
+		return fmt.Errorf("bad -repro seed %q: %v", seedStr, err)
+	}
+	g, family := conform.GenGraph(seed)
+	fmt.Printf("trial seed %#x: family %s, %d nodes, %d undirected edges\n",
+		seed, family, g.NumNodes(), g.NumEdges()/2)
+	for u := int32(0); int(u) < g.NumNodes(); u++ {
+		ws := g.EdgeWeights(u)
+		for i, v := range g.Neighbors(u) {
+			if v > u {
+				fmt.Printf("  %d-%d w=%d\n", u, v, ws[i])
+			}
+		}
+	}
+
+	sel := apps.All()
+	if len(appNames) > 0 {
+		sel = sel[:0]
+		for _, n := range appNames {
+			a, err := apps.ByName(n)
+			if err != nil {
+				return err
+			}
+			sel = append(sel, a)
+		}
+	}
+	failures := 0
+	for _, a := range sel {
+		if err := conform.RunChecked(a, g); err != nil {
+			failures++
+			fmt.Printf("FAIL %s: %v\n", a.Name, err)
+		} else {
+			fmt.Printf("ok   %s\n", a.Name)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d application(s) fail on this graph", failures)
+	}
+	return nil
+}
+
+func pickBase(s string) int {
+	if strings.HasPrefix(s, "0x") {
+		return 16
+	}
+	return 10
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

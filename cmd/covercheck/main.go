@@ -1,0 +1,161 @@
+// Command covercheck parses `go test -cover` text output and enforces
+// per-package statement-coverage floors. It is the gate behind `make
+// cover`: the packages that carry the study's correctness burden (the
+// application kernels, the cost model, the tracing runtime) must not
+// silently shed their tests as the code grows.
+//
+// Usage:
+//
+//	covercheck [-in cover.out] [-floor pkg,minpercent]...
+//
+// Input lines look like
+//
+//	ok  	gpuport/internal/apps	0.078s	coverage: 94.9% of statements
+//	ok  	gpuport/internal/obs	0.011s	coverage: [no statements]
+//	?   	gpuport/cmd/faultsim	[no test files]
+//
+// Only packages named by a -floor flag are enforced; everything else is
+// reported for information. A floored package that is missing from the
+// input, has no test files, or sits below its floor fails the gate.
+// Floors are deliberately a few points below current coverage: the gate
+// exists to catch collapses (a deleted test file, a build-tagged-out
+// suite), not to ratchet every percent.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type floor struct {
+	pkg string
+	min float64
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ";") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("covercheck", flag.ContinueOnError)
+	inPath := fs.String("in", "", "go test -cover output file (default stdin)")
+	var floorSpecs multiFlag
+	fs.Var(&floorSpecs, "floor", "pkg,minpercent coverage floor (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	floors, err := parseFloors(floorSpecs)
+	if err != nil {
+		return err
+	}
+
+	in := stdin
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	cov, err := parseCoverage(in)
+	if err != nil {
+		return err
+	}
+
+	failed := 0
+	for _, fl := range floors {
+		pct, ok := cov[fl.pkg]
+		switch {
+		case !ok:
+			fmt.Fprintf(stdout, "FAIL %s: no coverage reported (package missing from input?)\n", fl.pkg)
+			failed++
+		case pct < 0:
+			fmt.Fprintf(stdout, "FAIL %s: no test files\n", fl.pkg)
+			failed++
+		case pct < fl.min:
+			fmt.Fprintf(stdout, "FAIL %s: coverage %.1f%% below floor %.1f%%\n", fl.pkg, pct, fl.min)
+			failed++
+		default:
+			fmt.Fprintf(stdout, "ok   %s: coverage %.1f%% (floor %.1f%%)\n", fl.pkg, pct, fl.min)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d package(s) below their coverage floor", failed)
+	}
+	return nil
+}
+
+func parseFloors(specs []string) ([]floor, error) {
+	var out []floor
+	for _, s := range specs {
+		pkg, pct, ok := strings.Cut(s, ",")
+		if !ok || pkg == "" {
+			return nil, fmt.Errorf("bad -floor spec %q (want pkg,minpercent)", s)
+		}
+		min, err := strconv.ParseFloat(pct, 64)
+		if err != nil || min < 0 || min > 100 {
+			return nil, fmt.Errorf("bad -floor percent in %q", s)
+		}
+		out = append(out, floor{pkg, min})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no -floor flags given; nothing to enforce")
+	}
+	return out, nil
+}
+
+// parseCoverage extracts per-package coverage from `go test -cover`
+// output. Percentages map to their value; packages with no test files
+// or no statements map to -1 so floors can distinguish "absent from
+// input" from "present but untestable".
+func parseCoverage(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		f := strings.Fields(line)
+		if len(f) < 2 || (f[0] != "ok" && f[0] != "?" && f[0] != "---") {
+			continue
+		}
+		if f[0] == "---" {
+			continue // "--- FAIL: ..." test chatter
+		}
+		pkg := f[1]
+		switch {
+		case strings.Contains(line, "[no test files]"):
+			out[pkg] = -1
+		case strings.Contains(line, "coverage: [no statements]"):
+			out[pkg] = -1
+		case strings.Contains(line, "coverage:"):
+			i := strings.Index(line, "coverage:")
+			rest := strings.Fields(line[i+len("coverage:"):])
+			if len(rest) == 0 || !strings.HasSuffix(rest[0], "%") {
+				return nil, fmt.Errorf("malformed coverage in line %q", line)
+			}
+			pct, err := strconv.ParseFloat(strings.TrimSuffix(rest[0], "%"), 64)
+			if err != nil {
+				return nil, fmt.Errorf("malformed coverage in line %q", line)
+			}
+			out[pkg] = pct
+		}
+	}
+	return out, sc.Err()
+}

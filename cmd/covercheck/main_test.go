@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleCover = `ok  	gpuport	1.954s	coverage: 71.2% of statements
+ok  	gpuport/internal/apps	0.078s	coverage: 94.9% of statements
+ok  	gpuport/internal/cost	0.013s	coverage: 97.0% of statements
+ok  	gpuport/internal/obs	0.011s	coverage: [no statements]
+?   	gpuport/cmd/faultsim	[no test files]
+`
+
+func runCover(t *testing.T, input string, args ...string) (string, error) {
+	t.Helper()
+	var out strings.Builder
+	err := run(args, strings.NewReader(input), &out)
+	return out.String(), err
+}
+
+func TestParseCoverage(t *testing.T) {
+	cov, err := parseCoverage(strings.NewReader(sampleCover))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov["gpuport/internal/apps"] != 94.9 {
+		t.Errorf("apps coverage = %v", cov["gpuport/internal/apps"])
+	}
+	if cov["gpuport/internal/obs"] != -1 || cov["gpuport/cmd/faultsim"] != -1 {
+		t.Errorf("untestable packages should map to -1: %v", cov)
+	}
+	if _, ok := cov["gpuport/internal/irgl"]; ok {
+		t.Error("phantom package parsed")
+	}
+}
+
+func TestFloorsPassAndFail(t *testing.T) {
+	out, err := runCover(t, sampleCover,
+		"-floor", "gpuport/internal/apps,90",
+		"-floor", "gpuport/internal/cost,92")
+	if err != nil {
+		t.Fatalf("floors under current coverage must pass: %v\n%s", err, out)
+	}
+	out, err = runCover(t, sampleCover, "-floor", "gpuport/internal/apps,99")
+	if err == nil || !strings.Contains(out, "below floor") {
+		t.Fatalf("floor above coverage must fail: err=%v out=%s", err, out)
+	}
+}
+
+func TestMissingAndUntestablePackagesFail(t *testing.T) {
+	out, err := runCover(t, sampleCover, "-floor", "gpuport/internal/irgl,50")
+	if err == nil || !strings.Contains(out, "missing from input") {
+		t.Fatalf("absent package must fail: err=%v out=%s", err, out)
+	}
+	out, err = runCover(t, sampleCover, "-floor", "gpuport/cmd/faultsim,10")
+	if err == nil || !strings.Contains(out, "no test files") {
+		t.Fatalf("no-test-files package must fail: err=%v out=%s", err, out)
+	}
+}
+
+func TestBadSpecs(t *testing.T) {
+	if _, err := runCover(t, sampleCover); err == nil {
+		t.Error("no floors at all should be an error, not a vacuous pass")
+	}
+	for _, spec := range []string{"gpuport/internal/apps", "gpuport/internal/apps,abc", ",50", "p,-3", "p,101"} {
+		if _, err := runCover(t, sampleCover, "-floor", spec); err == nil {
+			t.Errorf("bad spec %q accepted", spec)
+		}
+	}
+}
+
+func TestMalformedCoverageLine(t *testing.T) {
+	_, err := runCover(t, "ok  \tgpuport/internal/apps\t0.1s\tcoverage: garbage\n",
+		"-floor", "gpuport/internal/apps,50")
+	if err == nil || !strings.Contains(err.Error(), "malformed coverage") {
+		t.Fatalf("err = %v, want malformed-coverage error", err)
+	}
+}

@@ -10,7 +10,10 @@
 //     required to be bit-identical across runs;
 //   - math/rand is forbidden outside internal/stats: all randomness
 //     flows through the seeded stats.RNG so results reproduce;
-//   - the unsafe package is not used at all.
+//   - the unsafe package is not used at all;
+//   - t.Skip in tests must carry a linked issue reference ("#123" or a
+//     URL) in its message: an unreferenced skip is how a disabled test
+//     quietly becomes a permanently disabled test.
 //
 // Usage: lintgate [root]  (default ".")
 package main
@@ -25,9 +28,14 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strconv"
 	"strings"
 )
+
+// skipRefPattern matches an issue reference ("#123") or a URL inside a
+// skip message; one of them must be present for t.Skip to pass the gate.
+var skipRefPattern = regexp.MustCompile(`#\d+|://`)
 
 // timeNowAllowed lists path prefixes (relative, slash-separated) where
 // reading the wall clock is legitimate: instrumentation, cache
@@ -128,6 +136,35 @@ func lintFile(path, rel string) ([]string, error) {
 		}
 	}
 
+	if isTest {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if name != "Skip" && name != "Skipf" && name != "SkipNow" {
+				return true
+			}
+			// Only method calls on a plain identifier (t, b, f) are in
+			// scope; a skip helper hanging off a field access or call
+			// result is not a testing.TB skip.
+			if _, ok := sel.X.(*ast.Ident); !ok {
+				return true
+			}
+			if skipCallHasReference(call) {
+				return true
+			}
+			violations = append(violations, fmt.Sprintf("%s:%d: %s without a linked issue reference (put \"#123\" or a URL in the skip message so the skip stays tracked)",
+				rel, fset.Position(call.Pos()).Line, name))
+			return true
+		})
+	}
+
 	if timeName != "" && timeName != "_" && !isTest && !pathAllowed(rel, timeNowAllowed) {
 		ast.Inspect(file, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
@@ -143,6 +180,24 @@ func lintFile(path, rel string) ([]string, error) {
 		})
 	}
 	return violations, nil
+}
+
+// skipCallHasReference reports whether any string literal in the skip
+// call's arguments carries an issue reference or URL. SkipNow takes no
+// arguments, so it can never pass; use Skip with a message instead.
+func skipCallHasReference(call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+				if s, err := strconv.Unquote(lit.Value); err == nil && skipRefPattern.MatchString(s) {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	return found
 }
 
 func pathAllowed(rel string, prefixes []string) bool {

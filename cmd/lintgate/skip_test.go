@@ -1,0 +1,110 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Tests for the t.Skip issue-reference rule. The fixtures below are
+// whole files so gofmt-cleanliness doesn't interfere with the rule
+// under test.
+func TestSkipRequiresReference(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the expected violation, "" = clean
+	}{
+		{
+			name: "bare skip flagged",
+			src: "package x\n\nimport \"testing\"\n\nfunc TestA(t *testing.T) {\n" +
+				"\tt.Skip(\"flaky on slow machines\")\n}\n",
+			want: "Skip without a linked issue reference",
+		},
+		{
+			name: "skip with issue number passes",
+			src: "package x\n\nimport \"testing\"\n\nfunc TestA(t *testing.T) {\n" +
+				"\tt.Skip(\"flaky on slow machines; see #42\")\n}\n",
+		},
+		{
+			name: "skip with URL passes",
+			src: "package x\n\nimport \"testing\"\n\nfunc TestA(t *testing.T) {\n" +
+				"\tt.Skip(\"tracked at https://example.com/issues/9\")\n}\n",
+		},
+		{
+			name: "skipf with reference in format string passes",
+			src: "package x\n\nimport \"testing\"\n\nfunc TestA(t *testing.T) {\n" +
+				"\tt.Skipf(\"missing fixture %s (#7)\", \"x\")\n}\n",
+		},
+		{
+			name: "skipf without reference flagged",
+			src: "package x\n\nimport \"testing\"\n\nfunc TestA(t *testing.T) {\n" +
+				"\tt.Skipf(\"missing fixture %s\", \"x\")\n}\n",
+			want: "Skipf without a linked issue reference",
+		},
+		{
+			name: "skipnow always flagged",
+			src: "package x\n\nimport \"testing\"\n\nfunc TestA(t *testing.T) {\n" +
+				"\tt.SkipNow()\n}\n",
+			want: "SkipNow without a linked issue reference",
+		},
+		{
+			name: "benchmark skip in scope too",
+			src: "package x\n\nimport \"testing\"\n\nfunc BenchmarkA(b *testing.B) {\n" +
+				"\tb.Skip(\"too slow\")\n}\n",
+			want: "Skip without a linked issue reference",
+		},
+		{
+			name: "reference built by concatenation passes",
+			src: "package x\n\nimport \"testing\"\n\nfunc TestA(t *testing.T) {\n" +
+				"\tt.Skip(\"blocked\" + \" on #13\")\n}\n",
+		},
+		{
+			name: "non-TB skip helper out of scope",
+			src: "package x\n\ntype lister struct{}\n\nfunc (lister) Skip(string) {}\n\n" +
+				"type holder struct{ l lister }\n\nvar h holder\n\nfunc init() { h.l.Skip(\"not a test skip\") }\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// The rule only applies to test files; the same source as a
+			// non-test file must always be clean (compile-ability of the
+			// fixture as a real test is irrelevant to the linter, which
+			// only parses).
+			name := "internal/x/a_test.go"
+			if tc.name == "non-TB skip helper out of scope" {
+				name = "internal/x/a_skip_test.go"
+			}
+			root := writeTree(t, map[string]string{name: tc.src})
+			vs, err := lint(root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.want == "" {
+				if len(vs) != 0 {
+					t.Fatalf("clean fixture flagged: %v", vs)
+				}
+				return
+			}
+			if len(vs) != 1 || !strings.Contains(vs[0], tc.want) {
+				t.Fatalf("violations = %v, want one containing %q", vs, tc.want)
+			}
+		})
+	}
+}
+
+// TestSkipRuleIgnoresNonTestFiles: an identically-shaped call in a
+// non-test file is out of the rule's scope (there is nothing to skip
+// outside the testing framework; flagging production methods named
+// Skip would be noise).
+func TestSkipRuleIgnoresNonTestFiles(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/x/a.go": "package x\n\ntype tb struct{}\n\nfunc (tb) Skip(string) {}\n\nfunc F() { var t tb; t.Skip(\"whatever\") }\n",
+	})
+	vs, err := lint(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("non-test file flagged by the skip rule: %v", vs)
+	}
+}

@@ -97,6 +97,9 @@ const Infinity int32 = 1<<30 - 1
 // SourceNode returns the traversal source for g: the highest-degree
 // node. On social networks this is the hub (the conventional choice for
 // GPU BFS studies); on road grids it is an ordinary intersection.
+// Callers must handle the empty graph themselves (there is no valid
+// source to return); the traversal applications short-circuit before
+// asking for one.
 func SourceNode(g *graph.Graph) int32 {
 	best, bestDeg := int32(0), -1
 	for u := int32(0); int(u) < g.NumNodes(); u++ {
@@ -113,7 +116,9 @@ func initDist(n int, src int32) []int32 {
 	for i := range dist {
 		dist[i] = Infinity
 	}
-	dist[src] = 0
+	if n > 0 {
+		dist[src] = 0
+	}
 	return dist
 }
 

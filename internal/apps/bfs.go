@@ -10,6 +10,9 @@ import (
 // improved nodes. One kernel launch per BFS level.
 func runBFSWL(g *graph.Graph) (*irgl.Trace, any) {
 	rt := irgl.NewRuntime("bfs-wl", g)
+	if g.NumNodes() == 0 {
+		return rt.Trace(), []int32{}
+	}
 	src := SourceNode(g)
 	dist := initDist(g.NumNodes(), src)
 	wl := irgl.NewWorklist(g.NumNodes())
@@ -71,6 +74,9 @@ func runBFSTopo(g *graph.Graph) (*irgl.Trace, any) {
 func runBFSHybrid(g *graph.Graph) (*irgl.Trace, any) {
 	rt := irgl.NewRuntime("bfs-hybrid", g)
 	n := g.NumNodes()
+	if n == 0 {
+		return rt.Trace(), []int32{}
+	}
 	src := SourceNode(g)
 	dist := initDist(n, src)
 	wl := irgl.NewWorklist(n)
@@ -138,6 +144,9 @@ func runBFSHybrid(g *graph.Graph) (*irgl.Trace, any) {
 func runBFSTP(g *graph.Graph) (*irgl.Trace, any) {
 	rt := irgl.NewRuntime("bfs-tp", g)
 	n := g.NumNodes()
+	if n == 0 {
+		return rt.Trace(), []int32{}
+	}
 	src := SourceNode(g)
 	dist := initDist(n, src)
 	expand := irgl.NewWorklist(n)

@@ -30,8 +30,12 @@ func asInt32Slice(g *graph.Graph, out any) ([]int32, error) {
 }
 
 // refBFS computes hop distances from src with a sequential queue BFS.
+// On the empty graph it returns an empty slice (there is no source).
 func refBFS(g *graph.Graph, src int32) []int32 {
 	dist := initDist(g.NumNodes(), src)
+	if g.NumNodes() == 0 {
+		return dist
+	}
 	queue := []int32{src}
 	for len(queue) > 0 {
 		u := queue[0]
@@ -65,8 +69,12 @@ func (h *distHeap) Pop() interface{} {
 }
 
 // refDijkstra computes weighted shortest path distances from src.
+// On the empty graph it returns an empty slice (there is no source).
 func refDijkstra(g *graph.Graph, src int32) []int32 {
 	dist := initDist(g.NumNodes(), src)
+	if g.NumNodes() == 0 {
+		return dist
+	}
 	h := &distHeap{{0, src}}
 	for h.Len() > 0 {
 		top := heap.Pop(h).(struct{ d, u int32 })

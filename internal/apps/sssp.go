@@ -9,6 +9,9 @@ import (
 // distance improved, each relaxing its out-edges with atomic min.
 func runSSSPWL(g *graph.Graph) (*irgl.Trace, any) {
 	rt := irgl.NewRuntime("sssp-wl", g)
+	if g.NumNodes() == 0 {
+		return rt.Trace(), []int32{}
+	}
 	src := SourceNode(g)
 	dist := initDist(g.NumNodes(), src)
 	wl := irgl.NewWorklist(g.NumNodes())
@@ -64,6 +67,9 @@ func runSSSPTopo(g *graph.Graph) (*irgl.Trace, any) {
 func runSSSPNF(g *graph.Graph) (*irgl.Trace, any) {
 	rt := irgl.NewRuntime("sssp-nf", g)
 	n := g.NumNodes()
+	if n == 0 {
+		return rt.Trace(), []int32{}
+	}
 	src := SourceNode(g)
 	dist := initDist(n, src)
 

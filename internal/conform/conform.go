@@ -1,0 +1,228 @@
+// Package conform is the differential conformance engine: seeded,
+// deterministic property-based cross-validation of the study's three
+// load-bearing layers against each other.
+//
+// Pillar 1 (differential app validation, diff.go): every registered
+// application runs on randomized graphs drawn from structurally diverse
+// families - including adversarial degenerate shapes - and its output is
+// checked against the sequential references. A failing graph is shrunk
+// to a minimal counterexample (shrink.go) and reported with the trial
+// seed that regenerates it bit-for-bit.
+//
+// Pillar 2 (metamorphic cost-model invariants, props.go): a registry of
+// named properties asserts relationships the cost model must satisfy on
+// randomized traces across every chip and optimisation configuration -
+// finiteness, monotonicities, permutation invariance, per-flag cost-term
+// scoping, and the DESIGN.md section 4 chip phenomena as orderings.
+//
+// Pillar 3 (mutation sanity, mutation_test.go): deliberate bugs behind
+// the conformmutate build tag must each be caught by at least one named
+// property or by the differential pillar, proving the engine has teeth.
+//
+// Everything is derived from one uint64 seed; two runs with equal
+// options produce byte-identical reports.
+package conform
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"gpuport/internal/apps"
+	"gpuport/internal/stats"
+)
+
+// Options configures a conformance run.
+type Options struct {
+	// Trials is the per-pillar trial budget (graphs for the differential
+	// pillar, sampled workloads per property). Defaults to 100.
+	Trials int
+	// Seed is the master seed; every random choice derives from it.
+	Seed uint64
+	// Props restricts the property pillar to the named properties
+	// (nil/empty = all). Filtering never changes what an included
+	// property observes: each property owns an independent seed stream.
+	Props []string
+	// Apps restricts the differential pillar to the named applications
+	// (nil/empty = all). Filtering never changes the trial graphs.
+	Apps []string
+}
+
+// maxFailuresPerApp bounds how many failures are shrunk and reported
+// per application; beyond it only the count is kept. One is usually
+// enough to debug; shrinking hundreds of duplicates is waste.
+const maxFailuresPerApp = 3
+
+// maxCounterexampleEdges bounds the edge listing embedded in a report.
+const maxCounterexampleEdges = 64
+
+// shrinkBudget caps predicate evaluations (application runs) per shrink.
+const shrinkBudget = 600
+
+// Report is the full outcome of a conformance run. It contains no maps,
+// timestamps or other nondeterminism: marshalling it with encoding/json
+// is byte-stable for fixed Options.
+type Report struct {
+	Seed     uint64       `json:"seed"`
+	Trials   int          `json:"trials"`
+	Apps     []AppResult  `json:"apps"`
+	Props    []PropResult `json:"properties"`
+	Failures int          `json:"failures"`
+}
+
+// AppResult summarises the differential pillar for one application.
+type AppResult struct {
+	App      string       `json:"app"`
+	Trials   int          `json:"trials"`
+	Failures []AppFailure `json:"failures,omitempty"`
+	// Unreported counts additional failing trials beyond the per-app
+	// shrink budget.
+	Unreported int `json:"unreported,omitempty"`
+}
+
+// AppFailure is one failing trial, shrunk to a minimal counterexample.
+// Re-running the application on GenGraph(TrialSeed) reproduces the
+// original failure; the embedded edge list is the shrunk graph.
+type AppFailure struct {
+	TrialSeed uint64 `json:"trial_seed"`
+	Family    string `json:"family"`
+	Nodes     int    `json:"nodes"`
+	Edges     int    `json:"edges"`
+	Error     string `json:"error"`
+
+	ShrunkNodes int    `json:"shrunk_nodes"`
+	ShrunkEdges int    `json:"shrunk_edges"`
+	ShrunkError string `json:"shrunk_error"`
+	// Counterexample lists the shrunk graph's undirected edges as
+	// "u-v w" strings (truncated at maxCounterexampleEdges).
+	Counterexample []string `json:"counterexample"`
+}
+
+// PropResult is the outcome of one metamorphic property.
+type PropResult struct {
+	Name   string `json:"name"`
+	Trials int    `json:"trials"`
+	Status string `json:"status"` // "pass" or "fail"
+	Error  string `json:"error,omitempty"`
+}
+
+// Run executes the conformance engine and returns its report. The error
+// is non-nil only for invalid options (unknown app/property names);
+// conformance failures are reported in Report.Failures.
+func Run(o Options) (*Report, error) {
+	if o.Trials <= 0 {
+		o.Trials = 100
+	}
+	appList, err := selectApps(o.Apps)
+	if err != nil {
+		return nil, err
+	}
+	propList, err := selectProps(o.Props)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Seed: o.Seed, Trials: o.Trials}
+
+	// Pillar 1: differential app validation. Trial seeds are drawn up
+	// front from the master stream so that app filtering cannot shift
+	// which graphs later trials see.
+	master := stats.NewRNG(o.Seed)
+	trialSeeds := make([]uint64, o.Trials)
+	for i := range trialSeeds {
+		trialSeeds[i] = master.Uint64()
+	}
+	results := make([]AppResult, len(appList))
+	for i, a := range appList {
+		results[i] = AppResult{App: a.Name, Trials: o.Trials}
+	}
+	for _, ts := range trialSeeds {
+		g, family := GenGraph(ts)
+		for i, a := range appList {
+			err := RunChecked(a, g)
+			if err == nil {
+				continue
+			}
+			if len(results[i].Failures) >= maxFailuresPerApp {
+				results[i].Unreported++
+				continue
+			}
+			results[i].Failures = append(results[i].Failures, shrinkFailure(a, ts, family, g, err))
+		}
+	}
+	rep.Apps = results
+
+	// Pillar 2: metamorphic properties, each on an independent stream.
+	for _, p := range propList {
+		pr := PropResult{Name: p.Name, Trials: o.Trials, Status: "pass"}
+		if err := p.Check(stats.NewRNG(propSeed(o.Seed, p.Name)), o.Trials); err != nil {
+			pr.Status = "fail"
+			pr.Error = err.Error()
+		}
+		rep.Props = append(rep.Props, pr)
+	}
+
+	for _, ar := range rep.Apps {
+		rep.Failures += len(ar.Failures) + ar.Unreported
+	}
+	for _, pr := range rep.Props {
+		if pr.Status != "pass" {
+			rep.Failures++
+		}
+	}
+	return rep, nil
+}
+
+// propSeed derives the per-property seed: a function of the master seed
+// and the property name only, so -props filtering is observation-free.
+func propSeed(seed uint64, name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return seed ^ h.Sum64()
+}
+
+func selectApps(names []string) ([]apps.App, error) {
+	all := apps.All()
+	if len(names) == 0 {
+		return all, nil
+	}
+	var out []apps.App
+	for _, n := range names {
+		a, err := apps.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func selectProps(names []string) ([]Property, error) {
+	all := Properties()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]Property, len(all))
+	for _, p := range all {
+		byName[p.Name] = p
+	}
+	var out []Property
+	for _, n := range names {
+		p, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("conform: unknown property %q (see PropertyNames)", n)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// PropertyNames returns the registered property names, sorted.
+func PropertyNames() []string {
+	var out []string
+	for _, p := range Properties() {
+		out = append(out, p.Name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,205 @@
+package conform
+
+import (
+	"encoding/json"
+	"testing"
+
+	"gpuport/internal/apps"
+	"gpuport/internal/graph"
+	"gpuport/internal/irgl"
+	"gpuport/internal/stats"
+)
+
+// appThatPanics is a synthetic application whose Run always panics,
+// for exercising the engine's panic containment.
+func appThatPanics() apps.App {
+	return apps.App{
+		Name: "panic-app",
+		Run: func(g *graph.Graph) (*irgl.Trace, any) {
+			panic("deliberate test panic")
+		},
+		Check: func(*graph.Graph, any) error { return nil },
+	}
+}
+
+// TestRunDeterministic pins the acceptance-critical property: two runs
+// with equal options marshal to byte-identical reports.
+func TestRunDeterministic(t *testing.T) {
+	opts := Options{Trials: 40, Seed: 42}
+	r1, err := Run(opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	r2, err := Run(opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b1, _ := json.Marshal(r1)
+	b2, _ := json.Marshal(r2)
+	if string(b1) != string(b2) {
+		t.Fatalf("reports differ between identical runs:\n%s\n%s", b1, b2)
+	}
+}
+
+// TestCleanRunPasses: the unmutated tree must conform.
+func TestCleanRunPasses(t *testing.T) {
+	rep, err := Run(Options{Trials: 40, Seed: 3})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Failures != 0 {
+		blob, _ := json.MarshalIndent(rep, "", "  ")
+		t.Fatalf("clean tree has %d conformance failures:\n%s", rep.Failures, blob)
+	}
+	if len(rep.Apps) != 17 {
+		t.Errorf("validated %d apps, want 17", len(rep.Apps))
+	}
+	if len(rep.Props) != len(Properties()) {
+		t.Errorf("ran %d properties, want %d", len(rep.Props), len(Properties()))
+	}
+}
+
+// TestFiltering: app and property filters restrict the run without
+// changing determinism, and unknown names are rejected.
+func TestFiltering(t *testing.T) {
+	rep, err := Run(Options{Trials: 10, Seed: 5, Apps: []string{"bfs-wl"}, Props: []string{"cost-finite-positive"}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rep.Apps) != 1 || rep.Apps[0].App != "bfs-wl" {
+		t.Errorf("app filter not applied: %+v", rep.Apps)
+	}
+	if len(rep.Props) != 1 || rep.Props[0].Name != "cost-finite-positive" {
+		t.Errorf("prop filter not applied: %+v", rep.Props)
+	}
+	if _, err := Run(Options{Trials: 1, Apps: []string{"no-such-app"}}); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := Run(Options{Trials: 1, Props: []string{"no-such-prop"}}); err == nil {
+		t.Error("unknown property accepted")
+	}
+}
+
+// TestPropFilterIndependence: a property observes the same stream
+// whether it runs alone or alongside the full registry, so -props
+// filtering can never mask or manufacture a failure.
+func TestPropFilterIndependence(t *testing.T) {
+	name := "cost-launch-append-monotone"
+	full, err := Run(Options{Trials: 15, Seed: 9})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	solo, err := Run(Options{Trials: 15, Seed: 9, Props: []string{name}, Apps: []string{"bfs-topo"}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var fromFull *PropResult
+	for i := range full.Props {
+		if full.Props[i].Name == name {
+			fromFull = &full.Props[i]
+		}
+	}
+	if fromFull == nil {
+		t.Fatalf("property %s missing from full run", name)
+	}
+	if *fromFull != solo.Props[0] {
+		t.Errorf("property result changed under filtering: %+v vs %+v", *fromFull, solo.Props[0])
+	}
+}
+
+// TestPropertyRegistry: names are unique, non-empty and documented.
+func TestPropertyRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Properties() {
+		if p.Name == "" || p.Doc == "" || p.Check == nil {
+			t.Errorf("incomplete property %+v", p.Name)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate property name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	if len(PropertyNames()) != len(Properties()) {
+		t.Error("PropertyNames length mismatch")
+	}
+}
+
+// TestGenGraphFamilies: every family's generator produces structurally
+// valid CSR graphs, deterministically per seed.
+func TestGenGraphFamilies(t *testing.T) {
+	families := map[string]int{}
+	for seed := uint64(0); seed < 400; seed++ {
+		g, fam := GenGraph(seed)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d (%s): invalid graph: %v", seed, fam, err)
+		}
+		g2, fam2 := GenGraph(seed)
+		if fam2 != fam || g.Fingerprint() != g2.Fingerprint() {
+			t.Fatalf("seed %d: GenGraph not deterministic", seed)
+		}
+		families[fam]++
+	}
+	for _, fam := range familyMix {
+		if families[fam] == 0 {
+			t.Errorf("family %s never sampled in 400 seeds", fam)
+		}
+	}
+}
+
+// TestShrinkMinimises: a predicate satisfiable by a tiny subgraph must
+// shrink all the way down to it.
+func TestShrinkMinimises(t *testing.T) {
+	// Scan seeds for a reasonably sized starting graph.
+	var g *graph.Graph
+	for seed := uint64(12); ; seed++ {
+		if c, _ := GenGraph(seed); c.NumEdges() >= 8 {
+			g = c
+			break
+		}
+	}
+	// "Has at least one undirected edge" is satisfied by a 2-node graph.
+	fails := func(c *graph.Graph) bool { return c.NumEdges() >= 2 }
+	shrunk := Shrink(g, fails, 2000)
+	if shrunk.NumNodes() != 2 || shrunk.NumEdges() != 2 {
+		t.Errorf("shrunk to %d nodes / %d directed edges, want 2 / 2", shrunk.NumNodes(), shrunk.NumEdges())
+	}
+	if !fails(shrunk) {
+		t.Error("shrunk graph no longer satisfies the predicate")
+	}
+}
+
+// TestShrinkRespectsBudget: with a zero budget the input comes back
+// unchanged (no predicate evaluations happen at all).
+func TestShrinkRespectsBudget(t *testing.T) {
+	g, _ := GenGraph(12)
+	calls := 0
+	fails := func(c *graph.Graph) bool { calls++; return true }
+	shrunk := Shrink(g, fails, 0)
+	if calls != 0 {
+		t.Errorf("zero-budget shrink evaluated the predicate %d times", calls)
+	}
+	if shrunk.NumNodes() != g.NumNodes() || shrunk.NumEdges() != g.NumEdges() {
+		t.Error("zero-budget shrink modified the graph")
+	}
+}
+
+// TestRunCheckedRecoversPanics: a panicking application must surface as
+// an error, not kill the engine.
+func TestRunCheckedRecoversPanics(t *testing.T) {
+	a := appThatPanics()
+	g, _ := GenGraph(1)
+	err := RunChecked(a, g)
+	if err == nil {
+		t.Fatal("panic not converted to error")
+	}
+}
+
+// TestEdgeListTruncation: the counterexample listing is bounded.
+func TestEdgeListTruncation(t *testing.T) {
+	g := genStar(stats.NewRNG(77), "star")
+	limit := 5
+	list := edgeList(g, limit)
+	if len(list) > limit+1 {
+		t.Errorf("edge list has %d entries, want <= %d", len(list), limit+1)
+	}
+}

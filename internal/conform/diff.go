@@ -1,0 +1,81 @@
+package conform
+
+import (
+	"fmt"
+
+	"gpuport/internal/apps"
+	"gpuport/internal/graph"
+)
+
+// Differential app validation: run one application on one graph,
+// validate the output against its sequential reference, and convert
+// panics into ordinary failures so a crash in one trial cannot take
+// down the engine (a panic on a degenerate graph is exactly the kind
+// of bug this pillar exists to find).
+
+// RunChecked executes a on g and validates the output, converting any
+// panic (from Run or Check) into an error. Exported for cmd/conform's
+// -repro mode.
+func RunChecked(a apps.App, g *graph.Graph) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	_, out := a.Run(g)
+	return a.Check(g, out)
+}
+
+// shrinkFailure minimises the failing graph and assembles the report
+// entry. The shrink predicate is "the application still fails for any
+// reason" - the failure mode may legitimately change as the graph
+// shrinks (e.g. a wrong distance collapsing into a panic); both the
+// original and final errors are reported.
+func shrinkFailure(a apps.App, trialSeed uint64, family string, g *graph.Graph, orig error) AppFailure {
+	fails := func(cand *graph.Graph) bool {
+		return RunChecked(a, cand) != nil
+	}
+	shrunk := Shrink(g, fails, shrinkBudget)
+	f := AppFailure{
+		TrialSeed:   trialSeed,
+		Family:      family,
+		Nodes:       g.NumNodes(),
+		Edges:       g.NumEdges(),
+		Error:       orig.Error(),
+		ShrunkNodes: shrunk.NumNodes(),
+		ShrunkEdges: shrunk.NumEdges(),
+	}
+	if err := RunChecked(a, shrunk); err != nil {
+		f.ShrunkError = err.Error()
+	} else {
+		// Only possible if the shrinker somehow lost the failure; report
+		// it rather than hide it.
+		f.ShrunkError = "(shrunk graph no longer fails - shrinker bug?)"
+	}
+	f.Counterexample = edgeList(shrunk, maxCounterexampleEdges)
+	return f
+}
+
+// edgeList renders the undirected edges of g as "u-v w" strings,
+// truncated to limit entries (with a trailing marker when truncated).
+func edgeList(g *graph.Graph, limit int) []string {
+	out := []string{}
+	n := int32(g.NumNodes())
+	total := 0
+	for u := int32(0); u < n; u++ {
+		ws := g.EdgeWeights(u)
+		for i, v := range g.Neighbors(u) {
+			if v < u {
+				continue // report each undirected edge once
+			}
+			total++
+			if len(out) < limit {
+				out = append(out, fmt.Sprintf("%d-%d %d", u, v, ws[i]))
+			}
+		}
+	}
+	if total > limit {
+		out = append(out, fmt.Sprintf("... %d more", total-limit))
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package conform
+
+import (
+	"testing"
+
+	"gpuport/internal/apps"
+)
+
+// FuzzConformTrial drives the differential pillar's front half from an
+// arbitrary seed: whatever graph GenGraph derives must be structurally
+// valid, and a representative application slice must run, validate and
+// never panic on it. The seed corpus in testdata/fuzz covers every
+// generator family; the fuzzer then explores the seed space around
+// them. Runs bounded in CI (make fuzz).
+func FuzzConformTrial(f *testing.F) {
+	// One seed per family (verified by TestFuzzSeedCorpusCoverage).
+	for _, seed := range fuzzFamilySeeds {
+		f.Add(seed)
+	}
+	var sel []apps.App
+	for _, name := range []string{"bfs-wl", "bfs-hybrid", "sssp-nf", "cc-sv", "mst-boruvka", "tri-merge"} {
+		a, err := apps.ByName(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		sel = append(sel, a)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		g, fam := GenGraph(seed)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %#x (%s): invalid graph: %v", seed, fam, err)
+		}
+		for _, a := range sel {
+			if err := RunChecked(a, g); err != nil {
+				t.Errorf("seed %#x (%s): %s: %v", seed, fam, a.Name, err)
+			}
+		}
+	})
+}
+
+// fuzzFamilySeeds holds one GenGraph seed per generator family, found
+// by scanning from 0. The same seeds are committed as corpus files in
+// testdata/fuzz/FuzzConformTrial; TestFuzzSeedCorpusCoverage fails if a
+// family loses its representative.
+var fuzzFamilySeeds = []uint64{
+	0,  // road
+	2,  // disconnected
+	4,  // mesh
+	5,  // uniform
+	7,  // powerlaw
+	9,  // empty
+	14, // single
+	17, // star
+	39, // selfloops
+}
+
+// TestFuzzSeedCorpusCoverage pins that the fuzz seeds above still cover
+// every generator family (the family mix is part of GenGraph's
+// deterministic output, so this only changes if the mix does).
+func TestFuzzSeedCorpusCoverage(t *testing.T) {
+	covered := map[string]bool{}
+	for _, seed := range fuzzFamilySeeds {
+		_, fam := GenGraph(seed)
+		covered[fam] = true
+	}
+	for _, fam := range familyMix {
+		if !covered[fam] {
+			t.Errorf("fuzz seed corpus no longer covers family %s; rescan seeds", fam)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package conform
+
+import (
+	"fmt"
+
+	"gpuport/internal/graph"
+	"gpuport/internal/stats"
+)
+
+// Randomized graph generation for differential validation. Each trial
+// draws one graph from a weighted mix of structural families: the three
+// study-like classes (power-law, road-like, mesh/uniform) plus the
+// adversarial degenerate shapes that historically break graph codes
+// (empty, single node, stars, disconnected unions with isolated nodes,
+// inputs full of self-loops and parallel edges for the builder to
+// normalise away).
+//
+// Everything is derived from a single uint64 seed, so any failure is
+// reproducible from the seed alone (cmd/conform -repro).
+
+// Families in generation order. The weights slice below repeats names
+// to bias sampling toward the structurally rich families while still
+// visiting every degenerate shape often.
+const (
+	FamilyPowerLaw     = "powerlaw"
+	FamilyRoad         = "road"
+	FamilyMesh         = "mesh"
+	FamilyUniform      = "uniform"
+	FamilyStar         = "star"
+	FamilyDisconnected = "disconnected"
+	FamilySelfLoops    = "selfloops"
+	FamilyEmpty        = "empty"
+	FamilySingle       = "single"
+)
+
+var familyMix = []string{
+	FamilyPowerLaw, FamilyPowerLaw, FamilyPowerLaw,
+	FamilyRoad, FamilyRoad,
+	FamilyMesh,
+	FamilyUniform, FamilyUniform,
+	FamilyStar,
+	FamilyDisconnected, FamilyDisconnected,
+	FamilySelfLoops,
+	FamilyEmpty,
+	FamilySingle,
+}
+
+// maxNodes bounds trial graphs: large enough for every structural
+// effect the applications respond to, small enough that 17 apps x
+// hundreds of trials (plus their sequential references) run in seconds.
+const maxNodes = 160
+
+// GenGraph deterministically generates the trial graph for seed,
+// returning it with its family name.
+func GenGraph(seed uint64) (*graph.Graph, string) {
+	r := stats.NewRNG(seed)
+	family := familyMix[r.Intn(len(familyMix))]
+	name := fmt.Sprintf("conform-%s-%016x", family, seed)
+	return genFamily(r, family, name), family
+}
+
+func genFamily(r *stats.RNG, family, name string) *graph.Graph {
+	switch family {
+	case FamilyPowerLaw:
+		return genPowerLaw(r, name)
+	case FamilyRoad:
+		return genRoad(r, name)
+	case FamilyMesh:
+		return genMesh(r, name)
+	case FamilyUniform:
+		return genUniform(r, name)
+	case FamilyStar:
+		return genStar(r, name)
+	case FamilyDisconnected:
+		return genDisconnected(r, name)
+	case FamilySelfLoops:
+		return genSelfLoops(r, name)
+	case FamilyEmpty:
+		return graph.NewBuilder(name, graph.ClassRandom, 0).Build()
+	case FamilySingle:
+		return graph.NewBuilder(name, graph.ClassRandom, 1).Build()
+	default:
+		panic("conform: unknown family " + family)
+	}
+}
+
+// weight draws an edge weight: usually 1..100, occasionally 0 (legal
+// for every application: Dijkstra needs only non-negative weights).
+func weight(r *stats.RNG) int32 {
+	if r.Intn(20) == 0 {
+		return 0
+	}
+	return int32(1 + r.Intn(100))
+}
+
+// genPowerLaw grows a hub-skewed graph by preferential-style
+// attachment: each new node links to a few earlier nodes with a double
+// bias toward low IDs, producing the heavy-tailed degree distribution
+// the nested-parallelism optimisations key on.
+func genPowerLaw(r *stats.RNG, name string) *graph.Graph {
+	n := 2 + r.Intn(maxNodes-1)
+	b := graph.NewBuilder(name, graph.ClassSocial, n)
+	for u := 1; u < n; u++ {
+		links := 1 + r.Intn(3)
+		for l := 0; l < links; l++ {
+			v := r.Intn(u)
+			v = r.Intn(v + 1) // second draw skews toward the oldest hubs
+			b.AddUndirected(int32(u), int32(v), weight(r))
+		}
+	}
+	return b.Build()
+}
+
+// genRoad is a miniature of graph.GenerateRoad: a grid with missing
+// streets and a couple of long shortcuts.
+func genRoad(r *stats.RNG, name string) *graph.Graph {
+	side := 1 + r.Intn(12)
+	n := side * side
+	b := graph.NewBuilder(name, graph.ClassRoad, n)
+	id := func(row, col int) int32 { return int32(row*side + col) }
+	for row := 0; row < side; row++ {
+		for col := 0; col < side; col++ {
+			if col+1 < side && r.Intn(10) > 0 {
+				b.AddUndirected(id(row, col), id(row, col+1), weight(r))
+			}
+			if row+1 < side && r.Intn(10) > 0 {
+				b.AddUndirected(id(row, col), id(row+1, col), weight(r))
+			}
+		}
+	}
+	for i := 0; i < side/4; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			b.AddUndirected(int32(u), int32(v), weight(r))
+		}
+	}
+	return b.Build()
+}
+
+// genMesh is a fully regular grid: uniform degree, zero imbalance - the
+// workload where nested parallelism is pure overhead.
+func genMesh(r *stats.RNG, name string) *graph.Graph {
+	side := 2 + r.Intn(11)
+	n := side * side
+	b := graph.NewBuilder(name, graph.ClassRoad, n)
+	id := func(row, col int) int32 { return int32(row*side + col) }
+	for row := 0; row < side; row++ {
+		for col := 0; col < side; col++ {
+			if col+1 < side {
+				b.AddUndirected(id(row, col), id(row, col+1), weight(r))
+			}
+			if row+1 < side {
+				b.AddUndirected(id(row, col), id(row+1, col), weight(r))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// genUniform gives every node a few random neighbours.
+func genUniform(r *stats.RNG, name string) *graph.Graph {
+	n := 2 + r.Intn(maxNodes-1)
+	b := graph.NewBuilder(name, graph.ClassRandom, n)
+	for u := 0; u < n; u++ {
+		deg := 1 + r.Intn(4)
+		for d := 0; d < deg; d++ {
+			v := r.Intn(n)
+			if v != u {
+				b.AddUndirected(int32(u), int32(v), weight(r))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// genStar is one hub connected to every rim node, with a few rim-rim
+// chords: the maximum-imbalance shape (one item owns all the work).
+func genStar(r *stats.RNG, name string) *graph.Graph {
+	n := 2 + r.Intn(maxNodes-1)
+	b := graph.NewBuilder(name, graph.ClassSocial, n)
+	for v := 1; v < n; v++ {
+		b.AddUndirected(0, int32(v), weight(r))
+	}
+	for i := 0; i < r.Intn(5); i++ {
+		u, v := 1+r.Intn(n-1), 1+r.Intn(n-1)
+		if u != v {
+			b.AddUndirected(int32(u), int32(v), weight(r))
+		}
+	}
+	return b.Build()
+}
+
+// genDisconnected unions two or three independent uniform blobs and a
+// stripe of fully isolated nodes, so traversal outputs must carry
+// Infinity / distinct component labels correctly.
+func genDisconnected(r *stats.RNG, name string) *graph.Graph {
+	blobs := 2 + r.Intn(2)
+	isolated := r.Intn(8)
+	sizes := make([]int, blobs)
+	n := isolated
+	for i := range sizes {
+		sizes[i] = 1 + r.Intn(maxNodes/4)
+		n += sizes[i]
+	}
+	b := graph.NewBuilder(name, graph.ClassRandom, n)
+	base := isolated // isolated nodes occupy the lowest IDs
+	for _, sz := range sizes {
+		for u := 0; u < sz; u++ {
+			deg := 1 + r.Intn(3)
+			for d := 0; d < deg; d++ {
+				v := r.Intn(sz)
+				if v != u {
+					b.AddUndirected(int32(base+u), int32(base+v), weight(r))
+				}
+			}
+		}
+		base += sz
+	}
+	return b.Build()
+}
+
+// genSelfLoops feeds the builder a stream heavy with self-loops and
+// duplicate parallel edges. The builder's contract is to normalise them
+// away (CSR graphs are loop-free and deduplicated); this family proves
+// the applications see only the normalised structure.
+func genSelfLoops(r *stats.RNG, name string) *graph.Graph {
+	n := 1 + r.Intn(maxNodes/4)
+	b := graph.NewBuilder(name, graph.ClassRandom, n)
+	attempts := n * 3
+	for i := 0; i < attempts; i++ {
+		u := r.Intn(n)
+		switch r.Intn(3) {
+		case 0: // self-loop: must be dropped
+			b.AddUndirected(int32(u), int32(u), weight(r))
+		case 1: // duplicate edge: smallest weight must be kept
+			v := r.Intn(n)
+			if v != u {
+				w := weight(r)
+				b.AddUndirected(int32(u), int32(v), w)
+				b.AddUndirected(int32(u), int32(v), w+1)
+			}
+		default:
+			v := r.Intn(n)
+			if v != u {
+				b.AddUndirected(int32(u), int32(v), weight(r))
+			}
+		}
+	}
+	return b.Build()
+}

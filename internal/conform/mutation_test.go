@@ -1,0 +1,136 @@
+//go:build conformmutate
+
+package conform
+
+import (
+	"strings"
+	"testing"
+
+	"gpuport/internal/cost"
+	"gpuport/internal/irgl"
+)
+
+// Mutation sanity: each deliberate bug injected behind the conformmutate
+// build tag must be caught by at least one named property (cost-model
+// mutants) or by the differential pillar with a shrunk counterexample
+// (runtime mutants). This is the proof that the engine has teeth - a
+// registry that passes on both the correct tree and on broken ones
+// would be theatre.
+//
+// Run with: go test -tags conformmutate ./internal/conform -run TestMutation
+
+const mutationTrials = 25
+
+func resetMutations() {
+	cost.Mutation = ""
+	irgl.Mutation = ""
+}
+
+func runEngine(t *testing.T) *Report {
+	t.Helper()
+	rep, err := Run(Options{Trials: mutationTrials, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rep
+}
+
+func failedProps(rep *Report) []string {
+	var out []string
+	for _, pr := range rep.Props {
+		if pr.Status != "pass" {
+			out = append(out, pr.Name)
+		}
+	}
+	return out
+}
+
+// TestMutationCleanTreePasses pins the baseline: with no mutation
+// active, the tagged build behaves exactly like the normal one.
+func TestMutationCleanTreePasses(t *testing.T) {
+	resetMutations()
+	rep := runEngine(t)
+	if rep.Failures != 0 {
+		t.Fatalf("clean tagged tree has %d failures: props %v", rep.Failures, failedProps(rep))
+	}
+}
+
+// TestMutationCostModel checks that every cost-model mutant is detected
+// by at least one of the properties documented to guard its term.
+func TestMutationCostModel(t *testing.T) {
+	cases := []struct {
+		mutation string
+		catchers []string // at least one of these must fail
+	}{
+		{"drop-launch-latency", []string{"param-launch-latency-live", "cost-empty-launch-invariant"}},
+		{"drop-divergence", []string{"param-divergence-live"}},
+		{"drop-wg-barrier", []string{"param-wg-barrier-live"}},
+		{"drop-coopcv-overhead", []string{"chip-jit-coopcv-overhead"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.mutation, func(t *testing.T) {
+			resetMutations()
+			cost.Mutation = tc.mutation
+			defer resetMutations()
+			rep := runEngine(t)
+			failed := failedProps(rep)
+			if len(failed) == 0 {
+				t.Fatalf("mutant %s survived: no property failed", tc.mutation)
+			}
+			caught := false
+			for _, name := range failed {
+				for _, want := range tc.catchers {
+					if name == want {
+						caught = true
+					}
+				}
+			}
+			if !caught {
+				t.Fatalf("mutant %s failed %v but none of its documented catchers %v", tc.mutation, failed, tc.catchers)
+			}
+			t.Logf("mutant %s caught by %v", tc.mutation, failed)
+		})
+	}
+}
+
+// TestMutationRuntime checks the app-level mutant: a runtime that drops
+// the last worklist item must be caught by the differential pillar, and
+// the failing graph must shrink to a minimal counterexample that is
+// reported together with its reproduction seed.
+func TestMutationRuntime(t *testing.T) {
+	resetMutations()
+	irgl.Mutation = "skip-last-frontier"
+	defer resetMutations()
+	rep := runEngine(t)
+
+	var found *AppFailure
+	var foundApp string
+	for _, ar := range rep.Apps {
+		for i := range ar.Failures {
+			if found == nil {
+				found = &ar.Failures[i]
+				foundApp = ar.App
+			}
+		}
+	}
+	if found == nil {
+		t.Fatal("mutant skip-last-frontier survived the differential pillar")
+	}
+	if found.TrialSeed == 0 {
+		t.Error("failure carries no reproduction seed")
+	}
+	// The minimal graph on which dropping the last frontier item breaks
+	// a traversal is tiny; anything big means shrinking is not working.
+	if found.ShrunkNodes > 4 {
+		t.Errorf("shrunk counterexample has %d nodes, want <= 4 (shrinker regression?)", found.ShrunkNodes)
+	}
+	if found.ShrunkError == "" || strings.Contains(found.ShrunkError, "shrinker bug") {
+		t.Errorf("shrunk graph does not preserve the failure: %q", found.ShrunkError)
+	}
+	if len(found.Counterexample) == 0 && found.ShrunkEdges > 0 {
+		t.Error("no counterexample edge list reported")
+	}
+	t.Logf("mutant skip-last-frontier caught by %s: seed=%#x family=%s", foundApp, found.TrialSeed, found.Family)
+	t.Logf("shrunk counterexample (%d nodes, %d undirected edges): %v -> %s",
+		found.ShrunkNodes, found.ShrunkEdges/2, found.Counterexample, found.ShrunkError)
+}

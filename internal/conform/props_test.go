@@ -1,0 +1,90 @@
+package conform
+
+import (
+	"testing"
+
+	"gpuport/internal/stats"
+)
+
+// TestEachPropertyPassesIndividually runs every registered property on
+// its own stream with a modest budget. Redundant with the engine-level
+// clean run, but failures here name the broken property directly in the
+// test output.
+func TestEachPropertyPassesIndividually(t *testing.T) {
+	for _, p := range Properties() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			if err := p.Check(stats.NewRNG(propSeed(2, p.Name)), 15); err != nil {
+				t.Errorf("%s: %v", p.Name, err)
+			}
+		})
+	}
+}
+
+// TestPropertyChecksDeterministic: a property given the same seed and
+// budget must make the same decision (the engine's byte-stable report
+// depends on it).
+func TestPropertyChecksDeterministic(t *testing.T) {
+	for _, p := range Properties() {
+		e1 := p.Check(stats.NewRNG(propSeed(4, p.Name)), 8)
+		e2 := p.Check(stats.NewRNG(propSeed(4, p.Name)), 8)
+		s1, s2 := "", ""
+		if e1 != nil {
+			s1 = e1.Error()
+		}
+		if e2 != nil {
+			s2 = e2.Error()
+		}
+		if s1 != s2 {
+			t.Errorf("%s: nondeterministic check: %q vs %q", p.Name, s1, s2)
+		}
+	}
+}
+
+// TestSyntheticTraceBuilders: the trace generators must produce traces
+// the cost model accepts, with the advertised shapes.
+func TestSyntheticTraceBuilders(t *testing.T) {
+	r := stats.NewRNG(6)
+	for i := 0; i < 20; i++ {
+		if tr := pushHeavyTrace(r); tr.Launches[0].AtomicPushes == 0 {
+			t.Fatal("pushHeavyTrace produced no pushes")
+		}
+		if tr := launchHeavyTrace(r); len(tr.Loops) == 0 || tr.Loops[0].Iterations < 40 {
+			t.Fatal("launchHeavyTrace is not launch-heavy")
+		}
+		if tr := uniformDivTrace(r); tr.Launches[0].RandomAccesses == 0 {
+			t.Fatal("uniformDivTrace produced no irregular accesses")
+		}
+		tr := randTrace(r)
+		if len(tr.Launches) == 0 {
+			t.Fatal("randTrace produced no launches")
+		}
+		for _, l := range tr.Launches {
+			if l.LoopID >= len(tr.Loops) {
+				t.Fatalf("launch references loop %d of %d", l.LoopID, len(tr.Loops))
+			}
+		}
+	}
+}
+
+// TestBuildLaunchMatchesRuntimeAccounting: the synthetic launch builder
+// must agree with the runtime on the aggregate quantities.
+func TestBuildLaunchMatchesRuntimeAccounting(t *testing.T) {
+	works := []int64{0, 1, 5, 5, 130, 0, 2}
+	st := buildLaunch("k", 3, works, 7, 11, 13)
+	if st.Items != int64(len(works)) {
+		t.Errorf("Items = %d, want %d", st.Items, len(works))
+	}
+	if st.ZeroWorkItems != 2 {
+		t.Errorf("ZeroWorkItems = %d, want 2", st.ZeroWorkItems)
+	}
+	if st.TotalWork != 143 {
+		t.Errorf("TotalWork = %d, want 143", st.TotalWork)
+	}
+	if st.MaxWork != 130 {
+		t.Errorf("MaxWork = %d, want 130", st.MaxWork)
+	}
+	if st.LoopID != 3 || st.AtomicPushes != 7 || st.AtomicRMWs != 11 || st.RandomAccesses != 13 {
+		t.Errorf("counters not attached: %+v", st)
+	}
+}

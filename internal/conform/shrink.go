@@ -1,0 +1,101 @@
+package conform
+
+import "gpuport/internal/graph"
+
+// Counterexample shrinking, delta-debugging style. Given a graph on
+// which a predicate holds (an application fails), greedily delete node
+// chunks, then single nodes, then undirected edges, keeping every
+// deletion that preserves the failure. The result is 1-minimal with
+// respect to those operations when the evaluation budget suffices;
+// otherwise it is simply the smallest failing graph found in budget.
+//
+// Deletions always go through graph.Induced / graph.WithoutEdgePair,
+// so intermediate candidates keep the invariants applications assume
+// (dense IDs, symmetric edges, loop-free sorted CSR).
+
+type shrinker struct {
+	fails    func(*graph.Graph) bool
+	evals    int
+	maxEvals int
+}
+
+// check runs the predicate under budget; once the budget is exhausted
+// every candidate is treated as non-failing, freezing further progress.
+func (s *shrinker) check(g *graph.Graph) bool {
+	if s.evals >= s.maxEvals {
+		return false
+	}
+	s.evals++
+	return s.fails(g)
+}
+
+// Shrink minimises g subject to fails staying true, spending at most
+// maxEvals predicate evaluations. fails(g) must be true on entry; the
+// returned graph also satisfies it.
+func Shrink(g *graph.Graph, fails func(*graph.Graph) bool, maxEvals int) *graph.Graph {
+	s := &shrinker{fails: fails, maxEvals: maxEvals}
+	cur := g
+
+	// Phase 1: node chunks of halving size, down to single nodes.
+	for chunk := cur.NumNodes() / 2; chunk >= 1; chunk /= 2 {
+		cur = s.nodePass(cur, chunk)
+	}
+	// Phase 2: individual undirected edges.
+	cur = s.edgePass(cur)
+	// Phase 3: edge removal may have disconnected nodes that can now go.
+	cur = s.nodePass(cur, 1)
+	return cur
+}
+
+// nodePass repeatedly deletes any chunk-sized contiguous block of node
+// IDs whose removal preserves the failure, until no block works.
+func (s *shrinker) nodePass(cur *graph.Graph, chunk int) *graph.Graph {
+	for {
+		n := cur.NumNodes()
+		if n == 0 || chunk > n {
+			return cur
+		}
+		progressed := false
+		for start := 0; start < n; start += chunk {
+			end := min(start+chunk, n)
+			keep := make([]bool, n)
+			for i := range keep {
+				keep[i] = i < start || i >= end
+			}
+			cand := graph.Induced(cur, keep)
+			if s.check(cand) {
+				cur = cand
+				progressed = true
+				break // IDs shifted; rescan from the smaller graph
+			}
+		}
+		if !progressed {
+			return cur
+		}
+	}
+}
+
+// edgePass repeatedly deletes any undirected edge whose removal
+// preserves the failure, until none works.
+func (s *shrinker) edgePass(cur *graph.Graph) *graph.Graph {
+	for {
+		progressed := false
+	scan:
+		for u := int32(0); int(u) < cur.NumNodes(); u++ {
+			for _, v := range cur.Neighbors(u) {
+				if v < u {
+					continue
+				}
+				cand := graph.WithoutEdgePair(cur, u, v)
+				if s.check(cand) {
+					cur = cand
+					progressed = true
+					break scan
+				}
+			}
+		}
+		if !progressed {
+			return cur
+		}
+	}
+}

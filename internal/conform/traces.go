@@ -1,0 +1,170 @@
+package conform
+
+import (
+	"fmt"
+
+	"gpuport/internal/graph"
+	"gpuport/internal/irgl"
+	"gpuport/internal/stats"
+)
+
+// Synthetic trace generation for the cost-model properties. Launch
+// statistics are produced by running the *real* irgl accounting (ForAll
+// + Item.Work) over explicit per-item work values, so the histogram,
+// max and zero-item bookkeeping the cost model consumes is exactly what
+// an application would have produced - the properties never re-derive
+// that logic and so cannot drift from it.
+
+// buildLaunch runs the runtime accounting over works and returns the
+// finalised KernelStats with the remaining counters attached.
+func buildLaunch(name string, loopID int, works []int64, pushes, rmws, random int64) irgl.KernelStats {
+	g := graph.NewBuilder("synth", graph.ClassRandom, 0).Build()
+	rt := irgl.NewRuntime("conform-synth", g)
+	k := rt.Launch(name)
+	idx := 0
+	k.ForAll(make([]int32, len(works)), func(it *irgl.Item, _ int32) {
+		it.Work(works[idx])
+		idx++
+	})
+	k.End()
+	st := rt.Trace().Launches[0]
+	st.LoopID = loopID
+	st.AtomicPushes = pushes
+	st.AtomicRMWs = rmws
+	st.RandomAccesses = random
+	return st
+}
+
+// worksUniform draws items work values uniformly from [lo, hi].
+func worksUniform(r *stats.RNG, items, lo, hi int) []int64 {
+	out := make([]int64, items)
+	for i := range out {
+		out[i] = int64(lo + r.Intn(hi-lo+1))
+	}
+	return out
+}
+
+// worksSkewed draws a heavy-tailed distribution: mostly tiny items with
+// a few hubs, the shape that activates every nested-parallelism branch.
+func worksSkewed(r *stats.RNG, items int) []int64 {
+	out := make([]int64, items)
+	for i := range out {
+		switch r.Intn(10) {
+		case 0: // hub
+			out[i] = int64(64 + r.Intn(448))
+		case 1, 2: // medium
+			out[i] = int64(8 + r.Intn(56))
+		default: // rim
+			out[i] = int64(r.Intn(4)) // zero-work items included
+		}
+	}
+	return out
+}
+
+func sumWorks(ws []int64) int64 {
+	var s int64
+	for _, w := range ws {
+		s += w
+	}
+	return s
+}
+
+// randLaunch draws one generic launch: possibly empty, uniform or
+// skewed work, atomics and divergence scaled to the work.
+func randLaunch(r *stats.RNG, name string, loopID int) irgl.KernelStats {
+	items := r.Intn(300)
+	if r.Intn(12) == 0 {
+		items = 0 // empty frontier launches happen in real traces
+	}
+	var works []int64
+	if items > 0 {
+		if r.Intn(2) == 0 {
+			works = worksSkewed(r, items)
+		} else {
+			works = worksUniform(r, items, 0, 16)
+		}
+	}
+	total := sumWorks(works)
+	var pushes, rmws, random int64
+	if total > 0 {
+		pushes = int64(r.Intn(int(total) + 1))
+		rmws = int64(r.Intn(int(total) + 1))
+		random = total + int64(r.Intn(int(total)+1))
+	}
+	return buildLaunch(name, loopID, works, pushes, rmws, random)
+}
+
+// randTrace draws a generic mixed trace: a few loops, a few launches,
+// some inside loops, some empty.
+func randTrace(r *stats.RNG) *irgl.Trace {
+	t := &irgl.Trace{App: "conform-synth", Input: "synth"}
+	nLoops := r.Intn(3)
+	for id := 0; id < nLoops; id++ {
+		t.Loops = append(t.Loops, irgl.LoopStats{
+			ID:         id,
+			Name:       fmt.Sprintf("loop%d", id),
+			Iterations: int64(1 + r.Intn(20)),
+		})
+	}
+	nLaunches := 1 + r.Intn(6)
+	for i := 0; i < nLaunches; i++ {
+		loopID := -1
+		if nLoops > 0 && r.Intn(2) == 0 {
+			loopID = r.Intn(nLoops)
+		}
+		st := randLaunch(r, fmt.Sprintf("k%d", i), loopID)
+		t.Launches = append(t.Launches, st)
+		if loopID >= 0 {
+			t.Loops[loopID].Launches++
+		}
+	}
+	return t
+}
+
+// launchHeavyTrace models a long fixpoint loop of tiny frontiers - the
+// road-network BFS shape where launch latency dominates and oitergb
+// pays off (DESIGN.md section 4, phenomenon 1).
+func launchHeavyTrace(r *stats.RNG) *irgl.Trace {
+	iters := 40 + r.Intn(80)
+	t := &irgl.Trace{App: "conform-launchheavy", Input: "synth"}
+	t.Loops = append(t.Loops, irgl.LoopStats{
+		ID: 0, Name: "fixpoint", Iterations: int64(iters), Launches: int64(iters),
+	})
+	for i := 0; i < iters; i++ {
+		works := worksUniform(r, 8+r.Intn(56), 1, 6)
+		st := buildLaunch(fmt.Sprintf("k%d", i), 0, works, 0, 0, sumWorks(works))
+		t.Launches = append(t.Launches, st)
+	}
+	return t
+}
+
+// pushHeavyTrace models worklist expansion: nearly every edge visit
+// pushes, the dense-atomics shape where subgroup combining matters
+// (DESIGN.md section 4, phenomenon 2).
+func pushHeavyTrace(r *stats.RNG) *irgl.Trace {
+	t := &irgl.Trace{App: "conform-pushheavy", Input: "synth"}
+	launches := 2 + r.Intn(4)
+	for i := 0; i < launches; i++ {
+		works := worksUniform(r, 100+r.Intn(200), 2, 12)
+		total := sumWorks(works)
+		pushes := total - int64(r.Intn(int(total)/8+1)) // density near 1
+		st := buildLaunch(fmt.Sprintf("k%d", i), -1, works, pushes, 0, total)
+		t.Launches = append(t.Launches, st)
+	}
+	return t
+}
+
+// divergenceTrace models skewed kernels dominated by irregular access -
+// the shape where barrier-induced divergence relief matters most
+// (DESIGN.md section 4, phenomenon 3: MALI).
+func divergenceTrace(r *stats.RNG) *irgl.Trace {
+	t := &irgl.Trace{App: "conform-divergence", Input: "synth"}
+	launches := 2 + r.Intn(3)
+	for i := 0; i < launches; i++ {
+		works := worksSkewed(r, 150+r.Intn(150))
+		total := sumWorks(works)
+		st := buildLaunch(fmt.Sprintf("k%d", i), -1, works, 0, 0, total)
+		t.Launches = append(t.Launches, st)
+	}
+	return t
+}

@@ -174,6 +174,9 @@ func launchCost(ch chip.Chip, cfg opt.Config, lp *LaunchProfile, wgSize int, occ
 	} else {
 		ns = ch.LaunchNS
 	}
+	if mutation("drop-launch-latency") {
+		ns = 0
+	}
 	if lp.Items == 0 {
 		return ns
 	}
@@ -239,7 +242,9 @@ func launchCost(ch chip.Chip, cfg opt.Config, lp *LaunchProfile, wgSize int, occ
 			switch {
 			case cfg.WG && (r >= float64(wgSize) || (!cfg.SG && cfg.FG == opt.FGOff)):
 				laneWork += c * coopLaneWork(r, wgSize)
-				extraLaneNS += c * barriersPerItem * wgBar / float64(ch.CUs)
+				if !mutation("drop-wg-barrier") {
+					extraLaneNS += c * barriersPerItem * wgBar / float64(ch.CUs)
+				}
 			case cfg.SG && (r >= float64(sgW) || cfg.FG == opt.FGOff):
 				laneWork += c * coopLaneWork(r, sgW)
 				extraLaneNS += c * barriersPerItem * ch.SubgroupBarrierNS / float64(ch.CUs)
@@ -287,7 +292,7 @@ func launchCost(ch chip.Chip, cfg opt.Config, lp *LaunchProfile, wgSize int, occ
 			}
 		}
 		ns += pushes / combine * ch.AtomicNS
-		if cfg.CoopCV {
+		if cfg.CoopCV && !mutation("drop-coopcv-overhead") {
 			// Orchestration. OpenCL subgroup operations must be
 			// uniform, so the compiler predicates the combining code
 			// across every lane of every edge visit (Section V-A) -
@@ -311,7 +316,7 @@ func launchCost(ch chip.Chip, cfg opt.Config, lp *LaunchProfile, wgSize int, occ
 	// the recovery only materialises when there is drift to remove
 	// (scaled by workgroup-level imbalance). fg's linearised accesses
 	// coalesce independently of drift.
-	if lp.RandomAccesses > 0 {
+	if lp.RandomAccesses > 0 && !mutation("drop-divergence") {
 		divFrac := 1.0
 		if (cfg.SG || cfg.WG) && lp.MaxWork > 1 {
 			drift := lp.imbalance(wgSize) - 1

@@ -1,0 +1,11 @@
+//go:build !conformmutate
+
+package cost
+
+// mutation reports whether the named deliberate bug is active. In
+// normal builds it is a constant false that the compiler folds away, so
+// the hooks in the cost model cost nothing. Builds tagged conformmutate
+// replace this with a switchable version (mutate_on.go) that the
+// conformance engine's mutation-sanity test drives; see
+// internal/conform.
+func mutation(string) bool { return false }

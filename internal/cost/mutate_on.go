@@ -1,0 +1,18 @@
+//go:build conformmutate
+
+package cost
+
+// Mutation names the active deliberate bug, or is empty for the
+// unmutated model. It exists only under the conformmutate build tag and
+// is set by the conformance engine's mutation-sanity test before any
+// cost evaluation runs (never concurrently with one).
+//
+// Known names (see the hooks in cost.go):
+//
+//	drop-launch-latency  - kernel launches cost no sync time
+//	drop-divergence      - the memory-divergence term is skipped
+//	drop-wg-barrier      - workgroup-cooperative barrier time is free
+//	drop-coopcv-overhead - coop-cv orchestration is free
+var Mutation string
+
+func mutation(name string) bool { return Mutation == name }

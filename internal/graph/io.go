@@ -91,22 +91,42 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if nodes > 1<<31 || edges > 1<<33 {
 		return nil, fmt.Errorf("graph: implausible size %d nodes / %d edges", nodes, edges)
 	}
-	g := &Graph{
-		Name:   string(name),
-		Class:  Class(class),
-		RowPtr: make([]int32, nodes+1),
-		Dst:    make([]int32, edges),
-		Weight: make([]int32, edges),
+	g := &Graph{Name: string(name), Class: Class(class)}
+	var err error
+	if g.RowPtr, err = readInt32s(br, nodes+1); err != nil {
+		return nil, err
 	}
-	for _, arr := range [][]int32{g.RowPtr, g.Dst, g.Weight} {
-		if err := binary.Read(br, binary.LittleEndian, arr); err != nil {
-			return nil, err
-		}
+	if g.Dst, err = readInt32s(br, edges); err != nil {
+		return nil, err
+	}
+	if g.Weight, err = readInt32s(br, edges); err != nil {
+		return nil, err
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	return g, nil
+}
+
+// readInt32s reads n little-endian int32 values, growing the result
+// incrementally. Allocating chunk-by-chunk instead of trusting the
+// header's count up front means a corrupted or hostile header (e.g.
+// claiming 2^31 nodes followed by no data) fails with a read error
+// after at most one chunk, rather than attempting a multi-gigabyte
+// allocation.
+func readInt32s(r io.Reader, n uint64) ([]int32, error) {
+	const chunk = 1 << 16
+	out := make([]int32, 0, min(n, chunk))
+	for read := uint64(0); read < n; {
+		c := min(n-read, chunk)
+		buf := make([]int32, c)
+		if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+			return nil, fmt.Errorf("graph: reading values: %w", err)
+		}
+		out = append(out, buf...)
+		read += c
+	}
+	return out, nil
 }
 
 // WriteEdgeList writes g as "src dst weight" lines, one per directed

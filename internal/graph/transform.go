@@ -1,0 +1,87 @@
+package graph
+
+import "fmt"
+
+// Structural transformations used by the conformance engine: node-ID
+// permutation (metamorphic testing - an isomorphic relabelling must not
+// change any trace-derived quantity for order-robust applications) and
+// induced subgraphs (counterexample shrinking deletes nodes and needs
+// the remainder re-indexed densely).
+
+// Permute returns the graph with node u renamed to perm[u], preserving
+// name, class, edges and weights. perm must be a permutation of
+// [0, NumNodes); a malformed permutation panics, since permutations are
+// produced internally (stats.RNG.Perm).
+func Permute(g *Graph, perm []int32) *Graph {
+	n := g.NumNodes()
+	if len(perm) != n {
+		panic(fmt.Sprintf("graph: permutation length %d for %d nodes", len(perm), n))
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || int(p) >= n || seen[p] {
+			panic(fmt.Sprintf("graph: malformed permutation (value %d)", p))
+		}
+		seen[p] = true
+	}
+	b := NewBuilder(g.Name, g.Class, n)
+	for u := int32(0); int(u) < n; u++ {
+		ws := g.EdgeWeights(u)
+		for i, v := range g.Neighbors(u) {
+			b.AddEdge(perm[u], perm[v], ws[i])
+		}
+	}
+	return b.Build()
+}
+
+// Induced returns the subgraph induced by the nodes with keep[u] true,
+// re-indexed densely in ascending original-ID order. Edges with either
+// endpoint dropped disappear; weights are preserved.
+func Induced(g *Graph, keep []bool) *Graph {
+	n := g.NumNodes()
+	if len(keep) != n {
+		panic(fmt.Sprintf("graph: keep mask length %d for %d nodes", len(keep), n))
+	}
+	remap := make([]int32, n)
+	kept := int32(0)
+	for u := 0; u < n; u++ {
+		if keep[u] {
+			remap[u] = kept
+			kept++
+		} else {
+			remap[u] = -1
+		}
+	}
+	b := NewBuilder(g.Name, g.Class, int(kept))
+	for u := int32(0); int(u) < n; u++ {
+		if remap[u] < 0 {
+			continue
+		}
+		ws := g.EdgeWeights(u)
+		for i, v := range g.Neighbors(u) {
+			if remap[v] >= 0 {
+				b.AddEdge(remap[u], remap[v], ws[i])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// WithoutEdgePair returns the graph with the undirected edge {u, v}
+// removed (both stored directions). Removing a directed edge alone
+// would break the symmetric-input contract every application is written
+// against, so the conformance shrinker only ever deletes pairs.
+func WithoutEdgePair(g *Graph, u, v int32) *Graph {
+	n := g.NumNodes()
+	b := NewBuilder(g.Name, g.Class, n)
+	for s := int32(0); int(s) < n; s++ {
+		ws := g.EdgeWeights(s)
+		for i, d := range g.Neighbors(s) {
+			if (s == u && d == v) || (s == v && d == u) {
+				continue
+			}
+			b.AddEdge(s, d, ws[i])
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,9 @@
+//go:build !conformmutate
+
+package irgl
+
+// mutation reports whether the named deliberate bug is active. Normal
+// builds get a constant false (folded away); builds tagged conformmutate
+// get the switchable version in mutate_on.go, driven by the conformance
+// engine's mutation-sanity test. See internal/conform.
+func mutation(string) bool { return false }

@@ -1,0 +1,17 @@
+//go:build conformmutate
+
+package irgl
+
+// Mutation names the active deliberate bug, or is empty for the
+// unmutated runtime. It exists only under the conformmutate build tag
+// and is set by the conformance engine's mutation-sanity test before
+// any application runs (never concurrently with one).
+//
+// Known names (see the hooks in irgl.go):
+//
+//	skip-last-frontier - ForAll silently drops the last worklist item,
+//	                     the classic off-by-one in a hand-rolled GPU
+//	                     grid-stride loop
+var Mutation string
+
+func mutation(name string) bool { return Mutation == name }

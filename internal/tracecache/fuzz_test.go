@@ -1,0 +1,48 @@
+package tracecache
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzEntryDecode feeds arbitrary bytes to the entry verifier/decoder.
+// Every input the store could ever read off disk - including truncated,
+// bit-flipped and outright hostile files - must either decode cleanly
+// or be rejected with an error; a panic here would let one damaged
+// cache file kill a whole measurement campaign. When an input is
+// accepted, re-encoding the trace through the store's own writer must
+// reach a fixed point: the canonical entry decodes to a trace whose
+// canonical encoding is byte-identical. The committed corpus in
+// testdata/fuzz holds real entry files (written through Store.Put) plus
+// damaged variants. Runs bounded in CI (make fuzz).
+func FuzzEntryDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(headerMagic))
+	f.Add([]byte(headerMagic + " 1 deadbeef 4\nabcd"))
+	// A minimal well-formed entry, built with the store's own writer.
+	payload := []byte(`{"app":"bfs-wl","input":"fz","launches":[]}`)
+	f.Add(append(appendHeader(nil, payload), payload...))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		tr, err := decodeEntry(raw)
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		p1, err := tr.AppendJSONCompact(nil)
+		if err != nil {
+			t.Fatalf("decoded trace does not re-encode: %v", err)
+		}
+		entry := append(appendHeader(nil, p1), p1...)
+		tr2, err := decodeEntry(entry)
+		if err != nil {
+			t.Fatalf("canonical re-encoding rejected: %v", err)
+		}
+		p2, err := tr2.AppendJSONCompact(nil)
+		if err != nil {
+			t.Fatalf("second re-encoding failed: %v", err)
+		}
+		if !bytes.Equal(p1, p2) {
+			t.Fatalf("canonical encoding is not a fixed point:\n%s\n%s", p1, p2)
+		}
+	})
+}
