@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build fmt-check lint test race conform conform-mutate fuzz cover ci bench bench-fault bench-trace bench-ci clean
+.PHONY: all vet build fmt-check lint test race conform conform-mutate fuzz cover ci bench bench-fault bench-trace bench-obs bench-ci profile clean
 
 all: ci
 
@@ -91,6 +91,25 @@ bench-trace:
 		-speedup 'BenchmarkTraces,BenchmarkTracesCached,10.0'
 	@rm -f bench-trace.out
 
+# bench-obs guards the observability overhead bound: full span capture
+# plus the simulated kernel timeline (what -obs-trace enables) must
+# stay within 1.5x of the always-on stage/counter layer. Recorded in
+# BENCH_obs.json.
+bench-obs:
+	$(GO) test -run xxx -bench '^BenchmarkSpanOverhead$$' -benchtime 20x -benchmem . | tee bench-obs.out
+	$(GO) run ./cmd/benchcheck -in bench-obs.out -json BENCH_obs.json \
+		-maxratio 'BenchmarkSpanOverhead/stages-only,BenchmarkSpanOverhead/spans-sim,1.5'
+	@rm -f bench-obs.out
+
+# profile collects CPU and heap profiles plus a span trace of a full
+# dataset sweep; inspect with `go tool pprof cpu.pprof` or load
+# obs-trace.json into https://ui.perfetto.dev.
+profile:
+	$(GO) run ./cmd/gpuport -cpuprofile cpu.pprof -memprofile mem.pprof \
+		-obs-trace obs-trace.json -obs-metrics obs-metrics.prom \
+		-out profile-study.csv dataset
+	@echo "wrote cpu.pprof mem.pprof obs-trace.json obs-metrics.prom"
+
 # bench-ci is the benchmark-regression job: the full suite recorded as
 # BENCH_ci.json, gated on the fault-layer overhead claim (zero-rate
 # faults within noise of no fault layer; 1.5x absorbs CI jitter).
@@ -103,4 +122,5 @@ bench-ci:
 
 clean:
 	$(GO) clean ./...
-	rm -f bench-trace.out bench-ci.out cover.out conform-a.json conform-b.json
+	rm -f bench-trace.out bench-ci.out bench-obs.out cover.out conform-a.json conform-b.json
+	rm -f cpu.pprof mem.pprof obs-trace.json obs-metrics.prom profile-study.csv

@@ -20,6 +20,7 @@ import (
 	"gpuport/internal/graph"
 	"gpuport/internal/measure"
 	"gpuport/internal/microbench"
+	"gpuport/internal/obs"
 	"gpuport/internal/opt"
 	"gpuport/internal/stats"
 	"gpuport/internal/study"
@@ -494,5 +495,43 @@ func BenchmarkAblationTraceReuse(b *testing.B) {
 				cost.Estimate(chips[0], opt.Config{}, tp)
 			}
 		}
+	})
+}
+
+// --- observability overhead: the bound behind `make bench-obs` ---
+
+// BenchmarkSpanOverhead guards the observability overhead claim: full
+// span capture plus the simulated kernel timeline (EnableSim, what
+// -obs-trace turns on) must stay within 1.5x of the always-on
+// stage/counter layer on the trace pipeline. The bound is enforced by
+// cmd/benchcheck via `make bench-obs`, recorded in BENCH_obs.json.
+// Spans are the expensive tier - each kernel launch becomes a sim
+// span - so this is the worst case for the instrumentation.
+func BenchmarkSpanOverhead(b *testing.B) {
+	bfs, _ := apps.ByName("bfs-wl")
+	pr, _ := apps.ByName("pr-residual")
+	base := measure.Options{
+		Workers: 4,
+		Apps:    []apps.App{bfs, pr},
+		Inputs:  []*graph.Graph{graph.GenerateUniform("bench-obs", 600, 5, 9)},
+	}
+	runTraces := func(b *testing.B, mk func() *obs.Recorder) {
+		b.Helper()
+		var spans int
+		for i := 0; i < b.N; i++ {
+			o := base
+			o.Obs = mk()
+			if _, err := measure.Traces(o); err != nil {
+				b.Fatal(err)
+			}
+			spans = len(o.Obs.Snapshot().Spans)
+		}
+		b.ReportMetric(float64(spans), "spans")
+	}
+	b.Run("stages-only", func(b *testing.B) {
+		runTraces(b, func() *obs.Recorder { return obs.New() })
+	})
+	b.Run("spans-sim", func(b *testing.B) {
+		runTraces(b, func() *obs.Recorder { return obs.New().EnableSim() })
 	})
 }

@@ -55,6 +55,21 @@
 //	              GOMAXPROCS)
 //	-v            progress logging to stderr
 //	-md           render tables as markdown instead of aligned text
+//
+// Observability flags (before the subcommand):
+//
+//	-obs-trace file
+//	              export the run's observability timeline as Chrome
+//	              trace-event JSON (loadable in Perfetto or
+//	              chrome://tracing): the real harness track plus the
+//	              simulated kernel timeline. Implies full span capture.
+//	-obs-metrics file
+//	              export Prometheus-style text metrics: pipeline
+//	              counters, deterministic histograms, span/event totals
+//	              and stage timings
+//	-cpuprofile file / -memprofile file
+//	              write pprof CPU / heap profiles of the run
+//	              (see `make profile`); inspect with `go tool pprof`
 package main
 
 import (
@@ -65,6 +80,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 
 	"gpuport/internal/analysis"
@@ -75,6 +92,7 @@ import (
 	"gpuport/internal/graph"
 	"gpuport/internal/measure"
 	"gpuport/internal/microbench"
+	"gpuport/internal/obs"
 	"gpuport/internal/report"
 	"gpuport/internal/study"
 	"gpuport/internal/tracecache"
@@ -112,6 +130,10 @@ func runCtx(ctx context.Context, args []string, w io.Writer) error {
 	workers := fs.Int("workers", 0, "trace and collection workers (default GOMAXPROCS)")
 	verbose := fs.Bool("v", false, "progress logging")
 	md := fs.Bool("md", false, "render tables as markdown")
+	obsTrace := fs.String("obs-trace", "", "export Chrome trace-event JSON (Perfetto-compatible) to this file")
+	obsMetrics := fs.String("obs-metrics", "", "export Prometheus-style text metrics to this file")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -125,6 +147,29 @@ func runCtx(ctx context.Context, args []string, w io.Writer) error {
 		rest = []string{"all"}
 	}
 
+	// The observability recorder outlives the subcommand: the exports
+	// are written after it returns, whatever path it took. Span capture
+	// stays off unless an export that needs it was requested.
+	rec := obs.New()
+	switch {
+	case *obsTrace != "":
+		rec.EnableSim()
+	case *obsMetrics != "":
+		rec.EnableTracing()
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	opts := measure.Options{
 		Seed:       *seed,
 		Runs:       *runs,
@@ -132,6 +177,7 @@ func runCtx(ctx context.Context, args []string, w io.Writer) error {
 		Workers:    *workers,
 		Faults:     profile,
 		Checkpoint: *resume,
+		Obs:        rec,
 	}
 	if *verbose {
 		opts.Progress = os.Stderr
@@ -141,12 +187,71 @@ func runCtx(ctx context.Context, args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		opts.TraceCache = store
+		opts.TraceCache = store.SetObs(rec)
 	}
 	loader := func() (*study.Study, error) {
 		return loadOrCollect(*inFile, *outFile, opts)
 	}
 
+	runErr := dispatch(rest, w, *seed, *inFile, *outFile, opts, loader)
+	if err := writeObsExports(rec, *obsTrace, *obsMetrics); err != nil && runErr == nil {
+		runErr = err
+	}
+	if err := writeMemProfile(*memprofile); err != nil && runErr == nil {
+		runErr = err
+	}
+	return runErr
+}
+
+// writeObsExports renders the recorder's snapshot to the requested
+// export files. Both exports share one snapshot so they describe the
+// same instant.
+func writeObsExports(rec *obs.Recorder, tracePath, metricsPath string) error {
+	if tracePath == "" && metricsPath == "" {
+		return nil
+	}
+	snap := rec.Snapshot()
+	write := func(path string, render func(io.Writer, *obs.Snapshot) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f, snap); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(tracePath, obs.WriteChromeTrace); err != nil {
+		return err
+	}
+	return write(metricsPath, obs.WriteMetrics)
+}
+
+// writeMemProfile writes a heap profile after a GC, so the numbers
+// reflect live memory rather than collection timing.
+func writeMemProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// dispatch executes one subcommand. Split from runCtx so the
+// observability exports and profiles wrap every path uniformly.
+func dispatch(rest []string, w io.Writer, seed uint64, inFile, outFile string, opts measure.Options, loader func() (*study.Study, error)) error {
 	switch rest[0] {
 	case "all":
 		s, err := loader()
@@ -161,7 +266,7 @@ func runCtx(ctx context.Context, args []string, w io.Writer) error {
 		}
 		report.TuplesSummary(w, s.Dataset())
 		printCampaign(w, s)
-		if *outFile == "" {
+		if outFile == "" {
 			fmt.Fprintln(w, "hint: pass -out file.csv to persist the dataset")
 		}
 		return nil
@@ -203,7 +308,7 @@ func runCtx(ctx context.Context, args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		pts := s.SamplingCurve(dims, []float64{0.1, 0.2, 0.3, 0.5, 0.75, 1.0}, 5, *seed)
+		pts := s.SamplingCurve(dims, []float64{0.1, 0.2, 0.3, 0.5, 0.75, 1.0}, 5, seed)
 		report.SamplingCurve(w, dims, pts)
 		return nil
 	case "predict":
@@ -229,11 +334,11 @@ func runCtx(ctx context.Context, args []string, w io.Writer) error {
 	case "report":
 		// A full markdown report: every table and figure plus the
 		// extension experiments. Written to -out (default REPORT.md).
-		path := *outFile
+		path := outFile
 		if path == "" {
 			path = "REPORT.md"
 		}
-		s, err := loadOrCollect(*inFile, "", opts)
+		s, err := loadOrCollect(inFile, "", opts)
 		if err != nil {
 			return err
 		}
@@ -245,7 +350,7 @@ func runCtx(ctx context.Context, args []string, w io.Writer) error {
 		prevMD := report.Markdown
 		report.Markdown = true
 		defer func() { report.Markdown = prevMD }()
-		if err := writeFullReport(f, s, *seed); err != nil {
+		if err := writeFullReport(f, s, seed); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "report written to %s\n", path)
@@ -277,7 +382,7 @@ func runCtx(ctx context.Context, args []string, w io.Writer) error {
 		}
 		seeds := make([]uint64, n)
 		for i := range seeds {
-			seeds[i] = *seed + uint64(i)
+			seeds[i] = seed + uint64(i)
 		}
 		base := opts
 		base.Checkpoint = "" // per-seed sweeps must not share a checkpoint

@@ -246,3 +246,43 @@ func TestBadFaultSpecRejected(t *testing.T) {
 		t.Fatal("bad -faults spec accepted")
 	}
 }
+
+func TestObsFlags(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "obs-trace.json")
+	metrics := filepath.Join(dir, "obs-metrics.prom")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	runCLI(t, "-obs-trace", trace, "-obs-metrics", metrics,
+		"-cpuprofile", cpu, "-memprofile", mem,
+		"-out", filepath.Join(dir, "study.csv"), "dataset")
+
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"traceEvents"`, "harness (real)", "simulated kernel timeline",
+		"trace-pair", "sweep-job", "timeline",
+	} {
+		if !bytes.Contains(raw, []byte(want)) {
+			t.Errorf("trace export missing %q", want)
+		}
+	}
+	prom, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"gpuport_counter_total", "gpuport_hist_bucket", "gpuport_span_total",
+	} {
+		if !bytes.Contains(prom, []byte(want)) {
+			t.Errorf("metrics export missing %q", want)
+		}
+	}
+	for _, p := range []string{cpu, mem} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("profile %s not written: %v", p, err)
+		}
+	}
+}

@@ -268,6 +268,11 @@ type CellResult struct {
 	WaitNS float64
 	// Failed is None on success, else the kind that exhausted retries.
 	Failed Kind
+	// Trail records the fate of every attempt in order - None for a
+	// successful attempt, else the kind that failed it - so observers
+	// can reconstruct the retry history. len(Trail) == Attempts (except
+	// for never-attempted dropout cells, where both are zero).
+	Trail []Kind
 }
 
 // Injector evaluates the fault schedule of one campaign. It is
@@ -379,12 +384,14 @@ func (in *Injector) MeasureCell(cellKey string, runs int, sigma float64) CellRes
 			if len(factors) > 0 {
 				res.Factors = factors
 				res.Quarantined = quarantined
+				res.Trail = append(res.Trail, None)
 				return res
 			}
 			// Every sample was quarantined: the attempt produced no
 			// usable timing, so treat it as a corruption failure.
 			fate = Corrupt
 		}
+		res.Trail = append(res.Trail, fate)
 		if attempt >= in.p.MaxRetries {
 			res.Failed = fate
 			return res

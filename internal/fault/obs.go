@@ -1,0 +1,31 @@
+package fault
+
+import "gpuport/internal/obs"
+
+// Emit records the cell's retry history as events on rec's real track,
+// attached to the owning span: one EvRetry per failed-and-retried
+// attempt and one EvCellFailed if the cell exhausted its retries. The
+// extra attributes (chip, app, config, ...) identify the cell; together
+// with the attempt index they make each event's identity unique, so
+// the exported artifacts are byte-stable regardless of scheduling.
+// No-op unless tracing is enabled.
+func (r *CellResult) Emit(rec *obs.Recorder, spanID uint64, extra ...obs.Attr) {
+	if !rec.TracingEnabled() {
+		return
+	}
+	for i, k := range r.Trail {
+		if k == None {
+			continue
+		}
+		attrs := make([]obs.Attr, 0, len(extra)+2)
+		attrs = append(attrs, extra...)
+		attrs = append(attrs,
+			obs.Int(obs.AttrAttempt, int64(i)),
+			obs.String(obs.AttrKind, k.String()))
+		name := obs.EvRetry
+		if i == len(r.Trail)-1 && r.Failed != None {
+			name = obs.EvCellFailed
+		}
+		rec.Event(name, spanID, attrs...)
+	}
+}

@@ -1,0 +1,92 @@
+package fault
+
+import (
+	"testing"
+
+	"gpuport/internal/obs"
+)
+
+func TestMeasureCellTrail(t *testing.T) {
+	// Clean profile: one successful attempt, trail [None].
+	in := NewInjector(Profile{}, nil, 0)
+	res := in.MeasureCell("chip|app|input|cfg", 3, 0.05)
+	if len(res.Trail) != 1 || res.Trail[0] != None {
+		t.Errorf("clean trail = %v, want [none]", res.Trail)
+	}
+
+	// Certain transient failure: every attempt fails, trail is all
+	// Transient and matches Attempts.
+	in = NewInjector(Profile{Transient: 1, MaxRetries: 2}, nil, 0)
+	res = in.MeasureCell("chip|app|input|cfg", 3, 0.05)
+	if res.Failed != Transient {
+		t.Fatalf("Failed = %v, want transient", res.Failed)
+	}
+	if len(res.Trail) != res.Attempts || res.Attempts != 3 {
+		t.Fatalf("trail %v vs attempts %d, want 3 entries", res.Trail, res.Attempts)
+	}
+	for _, k := range res.Trail {
+		if k != Transient {
+			t.Errorf("trail entry = %v, want transient", k)
+		}
+	}
+}
+
+func TestMeasureCellTrailHasRetriesUnderHeavyProfile(t *testing.T) {
+	in := NewInjector(*Heavy(), nil, 0)
+	sawRetry := false
+	for cell := 0; cell < 200 && !sawRetry; cell++ {
+		res := in.MeasureCell(string(rune('a'+cell%26))+string(rune('0'+cell/26)), 3, 0.05)
+		for i, k := range res.Trail {
+			if k != None && i < len(res.Trail)-1 {
+				sawRetry = true
+			}
+			if i == len(res.Trail)-1 && res.Failed == None && k != None {
+				t.Errorf("successful cell ends trail with %v", k)
+			}
+		}
+	}
+	if !sawRetry {
+		t.Error("heavy profile produced no retried attempt in 200 cells")
+	}
+}
+
+func TestCellResultEmit(t *testing.T) {
+	rec := obs.New().EnableTracing()
+	res := CellResult{
+		Attempts: 3,
+		Trail:    []Kind{Transient, Hang, None},
+	}
+	res.Emit(rec, 42, obs.String(obs.AttrChip, "gtx1080"))
+	failed := CellResult{
+		Attempts: 2,
+		Failed:   Corrupt,
+		Trail:    []Kind{Corrupt, Corrupt},
+	}
+	failed.Emit(rec, 43)
+
+	s := rec.Snapshot()
+	var retries, failures int
+	for _, ev := range s.Events {
+		switch ev.Name {
+		case obs.EvRetry:
+			retries++
+		case obs.EvCellFailed:
+			failures++
+		}
+	}
+	// First cell: attempts 0 and 1 failed then were retried; the
+	// second cell's attempt 0 was retried and attempt 1 ended the cell.
+	if retries != 3 || failures != 1 {
+		t.Errorf("retries = %d failures = %d, want 3 and 1: %+v", retries, failures, s.Events)
+	}
+	for _, ev := range s.Events {
+		if ev.SpanID != 42 && ev.SpanID != 43 {
+			t.Errorf("event not attached to a cell span: %+v", ev)
+		}
+	}
+
+	// Disabled and nil recorders are no-ops.
+	res.Emit(obs.New(), 1)
+	var nilRec *obs.Recorder
+	res.Emit(nilRec, 1)
+}

@@ -1,0 +1,85 @@
+package irgl
+
+import "gpuport/internal/obs"
+
+// Observability bridge: replaying a Trace onto the simulated track of
+// an obs.Recorder. The virtual clock is derived purely from the trace -
+// each launch occupies 1 (launch overhead) + Items + TotalWork virtual
+// nanoseconds - so the emitted timeline is bit-identical across runs
+// and worker counts, unlike the real harness track.
+
+// TotalAtomicPushes sums worklist pushes across all launches.
+func (t *Trace) TotalAtomicPushes() int64 {
+	var sum int64
+	for i := range t.Launches {
+		sum += t.Launches[i].AtomicPushes
+	}
+	return sum
+}
+
+// launchDur is the virtual duration of one kernel launch: a fixed
+// launch overhead plus one unit per work-item and per work unit. The
+// absolute scale is meaningless (it is not the cost model); it only
+// has to be deterministic and to order launches sensibly on a canvas.
+func launchDur(k *KernelStats) int64 { return 1 + k.Items + k.TotalWork }
+
+// EmitSim replays the trace as spans on rec's simulated track: one
+// root timeline span for the pair, one span per host loop (covering
+// its first through last launch) and one span per kernel launch,
+// parented to its innermost loop. lane is the export thread - callers
+// pass a deterministic pair index, never a worker id. No-op unless the
+// recorder has the simulated timeline enabled.
+func (t *Trace) EmitSim(rec *obs.Recorder, lane int) {
+	if !rec.SimEnabled() {
+		return
+	}
+	rec.NameLane(obs.TrackSim, lane, t.App+" on "+t.Input)
+
+	// Lay launches end to end on the virtual clock.
+	type interval struct{ start, dur int64 }
+	ivs := make([]interval, len(t.Launches))
+	var cursor int64
+	for i := range t.Launches {
+		d := launchDur(&t.Launches[i])
+		ivs[i] = interval{cursor, d}
+		cursor += d
+	}
+	root := rec.SimSpan(lane, 0, obs.SpanSimTimeline, 0, cursor,
+		obs.String(obs.AttrApp, t.App), obs.String(obs.AttrInput, t.Input))
+
+	// One span per host loop, spanning its first through last launch.
+	// Nested loops produce overlapping spans on the same lane, which the
+	// trace viewer renders stacked; launches link to the innermost loop.
+	loopSpan := make(map[int]uint64, len(t.Loops))
+	for _, lp := range t.Loops {
+		first, end := int64(-1), int64(0)
+		for i := range t.Launches {
+			if t.Launches[i].LoopID != lp.ID {
+				continue
+			}
+			if first < 0 {
+				first = ivs[i].start
+			}
+			end = ivs[i].start + ivs[i].dur
+		}
+		if first < 0 {
+			continue // loop body never launched a kernel
+		}
+		loopSpan[lp.ID] = rec.SimSpan(lane, root, lp.Name, first, end-first,
+			obs.Int(obs.AttrLoop, int64(lp.ID)),
+			obs.Int(obs.AttrIters, lp.Iterations))
+	}
+
+	for i := range t.Launches {
+		k := &t.Launches[i]
+		parent := root
+		if id, ok := loopSpan[k.LoopID]; ok {
+			parent = id
+		}
+		rec.SimSpan(lane, parent, k.Name, ivs[i].start, ivs[i].dur,
+			obs.Int(obs.AttrLaunch, int64(i)),
+			obs.Int(obs.AttrFrontier, k.Items),
+			obs.Int(obs.AttrEdges, k.TotalWork),
+			obs.Int(obs.AttrPushes, k.AtomicPushes))
+	}
+}

@@ -1,0 +1,105 @@
+package irgl
+
+import (
+	"reflect"
+	"testing"
+
+	"gpuport/internal/obs"
+)
+
+// simTrace is a hand-built trace: two launches inside a loop, one
+// outside any loop.
+func simTrace() *Trace {
+	return &Trace{
+		App:   "bfs-wl",
+		Input: "road",
+		Launches: []KernelStats{
+			{Name: "bfs_kernel", LoopID: 0, Items: 1, TotalWork: 3, AtomicPushes: 2},
+			{Name: "bfs_kernel", LoopID: 0, Items: 2, TotalWork: 7, AtomicPushes: 1},
+			{Name: "init", LoopID: -1, Items: 10, TotalWork: 0},
+		},
+		Loops: []LoopStats{{ID: 0, Name: "bfs_pipe", Iterations: 3, Launches: 2}},
+	}
+}
+
+func TestTotalAtomicPushes(t *testing.T) {
+	if got := simTrace().TotalAtomicPushes(); got != 3 {
+		t.Errorf("TotalAtomicPushes = %d, want 3", got)
+	}
+}
+
+func TestEmitSimTimeline(t *testing.T) {
+	rec := obs.New().EnableSim()
+	tr := simTrace()
+	tr.EmitSim(rec, 4)
+	s := rec.Snapshot()
+
+	// Root + loop + 3 launches.
+	if len(s.Spans) != 5 {
+		t.Fatalf("spans = %d, want 5: %+v", len(s.Spans), s.Spans)
+	}
+	byName := map[string][]obs.Span{}
+	var total int64
+	for _, sp := range s.Spans {
+		if sp.Track != obs.TrackSim {
+			t.Errorf("span %q on real track", sp.Name)
+		}
+		if sp.Lane != 4 {
+			t.Errorf("span %q lane = %d, want 4", sp.Name, sp.Lane)
+		}
+		byName[sp.Name] = append(byName[sp.Name], sp)
+	}
+	for i := range tr.Launches {
+		total += launchDur(&tr.Launches[i])
+	}
+
+	root := byName[obs.SpanSimTimeline][0]
+	if root.DurNS != total || root.StartNS != 0 || root.Parent != 0 {
+		t.Errorf("root = %+v, want start 0 dur %d parent 0", root, total)
+	}
+	loop := byName["bfs_pipe"][0]
+	if loop.Parent != root.ID {
+		t.Errorf("loop parent = %x, want root %x", loop.Parent, root.ID)
+	}
+	// Loop covers launches 0 and 1: starts at 0, ends before launch 2.
+	wantLoopDur := launchDur(&tr.Launches[0]) + launchDur(&tr.Launches[1])
+	if loop.StartNS != 0 || loop.DurNS != wantLoopDur {
+		t.Errorf("loop interval = [%d, +%d], want [0, +%d]", loop.StartNS, loop.DurNS, wantLoopDur)
+	}
+	if got := len(byName["bfs_kernel"]); got != 2 {
+		t.Fatalf("bfs_kernel spans = %d, want 2", got)
+	}
+	for _, sp := range byName["bfs_kernel"] {
+		if sp.Parent != loop.ID {
+			t.Errorf("launch parent = %x, want loop %x", sp.Parent, loop.ID)
+		}
+	}
+	if init := byName["init"][0]; init.Parent != root.ID {
+		t.Errorf("out-of-loop launch parent = %x, want root %x", init.Parent, root.ID)
+	}
+	if len(s.Lanes) != 1 || s.Lanes[0].Name != "bfs-wl on road" || s.Lanes[0].Lane != 4 {
+		t.Errorf("lanes = %+v", s.Lanes)
+	}
+}
+
+func TestEmitSimDeterministic(t *testing.T) {
+	build := func() *obs.Snapshot {
+		rec := obs.New().EnableSim()
+		simTrace().EmitSim(rec, 0)
+		return rec.Snapshot()
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a.Spans, b.Spans) {
+		t.Errorf("sim spans differ across identical emits:\n%+v\n%+v", a.Spans, b.Spans)
+	}
+}
+
+func TestEmitSimDisabled(t *testing.T) {
+	rec := obs.New() // sim not enabled
+	simTrace().EmitSim(rec, 0)
+	if s := rec.Snapshot(); len(s.Spans) != 0 || len(s.Lanes) != 0 {
+		t.Errorf("disabled recorder captured %d spans", len(s.Spans))
+	}
+	var nilRec *obs.Recorder
+	simTrace().EmitSim(nilRec, 0) // must not panic
+}

@@ -148,7 +148,8 @@ func CollectReport(o Options) (*dataset.Dataset, *Report, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	stopSweep := o.Obs.Start("sweep")
+	stopSweep := o.Obs.Start(obs.StageSweep)
+	sweepSpan := o.Obs.StartSpan(obs.StageSweep, 0)
 	configs := opt.All()
 	nc := len(configs)
 
@@ -194,7 +195,7 @@ func CollectReport(o Options) (*dataset.Dataset, *Report, error) {
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for ji := range next {
 				if ctx.Err() != nil {
@@ -202,6 +203,17 @@ func CollectReport(o Options) (*dataset.Dataset, *Report, error) {
 				}
 				ch := o.Chips[jobs[ji].chipIdx]
 				tp := profiles[jobs[ji].traceIdx]
+				// Span identity is (chip, app, input); the worker id is
+				// only the export lane (see traces.go).
+				jobSpan := sweepSpan.StartSpan(obs.SpanSweepJob, w,
+					obs.String(obs.AttrChip, ch.Name),
+					obs.String(obs.AttrApp, tp.App),
+					obs.String(obs.AttrInput, tp.Input))
+				// Fault accounting is batched worker-locally per job and
+				// folded in once: counters and histograms are integer, so
+				// the snapshot is identical at any worker count.
+				var fAttempts, fRetries, fQuar int64
+				var attemptsHist, waitHist obs.Hist
 				// Each goroutine owns a disjoint slice region; no locks
 				// are needed and the final order is deterministic.
 				out := records[ji*nc : (ji+1)*nc]
@@ -226,6 +238,12 @@ func CollectReport(o Options) (*dataset.Dataset, *Report, error) {
 							waitNS:      res.WaitNS,
 							failed:      res.Failed,
 						}
+						fAttempts += int64(res.Attempts)
+						fRetries += int64(res.Attempts - 1)
+						fQuar += int64(res.Quarantined)
+						attemptsHist.Observe(int64(res.Attempts))
+						waitHist.Observe(int64(res.WaitNS))
+						res.Emit(o.Obs, jobSpan.ID(), obs.String(obs.AttrConfig, cfg.String()))
 						if res.Failed != fault.None {
 							continue
 						}
@@ -257,11 +275,19 @@ func CollectReport(o Options) (*dataset.Dataset, *Report, error) {
 					out[k] = dataset.Record{Key: dkey, Samples: samples}
 					fresh = true
 				}
+				if inj != nil {
+					o.Obs.Add(obs.CtrFaultAttempts, fAttempts)
+					o.Obs.Add(obs.CtrFaultRetries, fRetries)
+					o.Obs.Add(obs.CtrFaultQuarantined, fQuar)
+					o.Obs.MergeHist(obs.HistCellAttempts, &attemptsHist)
+					o.Obs.MergeHist(obs.HistCellWaitNS, &waitHist)
+				}
+				jobSpan.End()
 				if ck != nil && fresh {
 					ck.appendJob(out, st)
 				}
 			}
-		}()
+		}(w)
 	}
 feed:
 	for ji := range jobs {
@@ -274,6 +300,7 @@ feed:
 	close(next)
 	wg.Wait()
 
+	sweepSpan.End()
 	stopSweep()
 	ckErr := ""
 	if ck != nil {
@@ -285,7 +312,8 @@ feed:
 		return nil, nil, err
 	}
 
-	stopAssemble := o.Obs.Start("assemble")
+	stopAssemble := o.Obs.Start(obs.StageAssemble)
+	assembleSpan := o.Obs.StartSpan(obs.StageAssemble, 0)
 	d := dataset.New()
 	rep := &Report{
 		Cells:           len(records),
@@ -332,7 +360,9 @@ feed:
 		})
 		rep.FailuresByKind[st.failed]++
 	}
+	assembleSpan.End()
 	stopAssemble()
 	rep.Pipeline = o.Obs.Summary()
+	rep.Obs = o.Obs.Snapshot()
 	return d, rep, nil
 }

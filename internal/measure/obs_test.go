@@ -1,0 +1,143 @@
+package measure
+
+import (
+	"bytes"
+	"testing"
+
+	"gpuport/internal/fault"
+	"gpuport/internal/obs"
+)
+
+// exportRun collects the small sweep under fault injection with span
+// capture on and returns the canonicalised trace and metrics exports.
+func exportRun(t *testing.T, workers int) (trace, metrics []byte, rep *Report) {
+	t.Helper()
+	o := smallOptions()
+	o.Workers = workers
+	o.Faults = (&fault.Profile{Transient: 0.2, Corrupt: 0.1, Seed: 11}).Fill()
+	o.Obs = obs.New().EnableSim()
+	_, rep, err := CollectReport(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, rep.Obs); err != nil {
+		t.Fatal(err)
+	}
+	canonTrace, err := obs.CanonicalTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := obs.WriteMetrics(&buf, rep.Obs); err != nil {
+		t.Fatal(err)
+	}
+	return canonTrace, obs.CanonicalMetrics(buf.Bytes()), rep
+}
+
+// TestObsExportsDeterministicAcrossWorkers is the determinism golden
+// gate for the observability subsystem: the exported artifacts - with
+// wall-clock fields stripped by the canonicalisers - must be
+// byte-identical across runs AND across worker counts, faults and all.
+func TestObsExportsDeterministicAcrossWorkers(t *testing.T) {
+	trace1, metrics1, rep1 := exportRun(t, 1)
+	trace4, metrics4, rep4 := exportRun(t, 4)
+	if !bytes.Equal(trace1, trace4) {
+		t.Errorf("canonical traces differ between 1 and 4 workers:\n%s\n---\n%s", trace1, trace4)
+	}
+	if !bytes.Equal(metrics1, metrics4) {
+		t.Errorf("canonical metrics differ between 1 and 4 workers:\n%s\n---\n%s", metrics1, metrics4)
+	}
+
+	// The run must actually have exercised the interesting paths,
+	// otherwise this test proves nothing.
+	var retries int
+	for _, ev := range rep1.Obs.Events {
+		if ev.Name == obs.EvRetry {
+			retries++
+		}
+	}
+	if retries == 0 {
+		t.Error("fault-injected run recorded no retry events")
+	}
+	if rep1.Pipeline.Counter(obs.CtrFaultRetries) == 0 {
+		t.Errorf("%s = 0 under transient faults", obs.CtrFaultRetries)
+	}
+	if got := rep4.Pipeline.Counter(obs.CtrFaultRetries); got != rep1.Pipeline.Counter(obs.CtrFaultRetries) {
+		t.Errorf("retry counters differ across worker counts: %d vs %d",
+			rep1.Pipeline.Counter(obs.CtrFaultRetries), got)
+	}
+	var simSpans, realSpans int
+	for _, sp := range rep1.Obs.Spans {
+		if sp.Track == obs.TrackSim {
+			simSpans++
+		} else {
+			realSpans++
+		}
+	}
+	if simSpans == 0 || realSpans == 0 {
+		t.Errorf("want spans on both tracks, got %d sim / %d real", simSpans, realSpans)
+	}
+}
+
+// TestObsSpanPopulation pins the span counts of the instrumented
+// pipeline: one phase span per stage, one pair span per (app, input),
+// one job span per (chip, pair), and a sim timeline per traced pair.
+func TestObsSpanPopulation(t *testing.T) {
+	o := smallOptions()
+	o.Obs = obs.New().EnableSim()
+	_, rep, err := CollectReport(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[string]int{}
+	for _, sp := range rep.Obs.Spans {
+		count[sp.Name]++
+	}
+	// 2 apps x 1 input = 2 pairs; 2 chips x 2 pairs = 4 jobs.
+	for name, want := range map[string]int{
+		obs.StageTrace:      1,
+		obs.StageSweep:      1,
+		obs.StageAssemble:   1,
+		obs.SpanTracePair:   2,
+		obs.SpanSweepJob:    4,
+		obs.SpanSimTimeline: 2,
+	} {
+		if count[name] != want {
+			t.Errorf("%s spans = %d, want %d", name, count[name], want)
+		}
+	}
+	// Workload counters are recorded by the always-on layer too.
+	if rep.Pipeline.Counter(obs.CtrKernelLaunches) == 0 {
+		t.Errorf("%s = 0 after a traced run", obs.CtrKernelLaunches)
+	}
+	var frontier *obs.Hist
+	for i := range rep.Obs.Hists {
+		if rep.Obs.Hists[i].Name == obs.HistFrontier {
+			frontier = &rep.Obs.Hists[i]
+		}
+	}
+	if frontier == nil || frontier.Count != rep.Pipeline.Counter(obs.CtrKernelLaunches) {
+		t.Errorf("frontier hist count = %+v, want one observation per launch (%d)",
+			frontier, rep.Pipeline.Counter(obs.CtrKernelLaunches))
+	}
+}
+
+// TestObsDisabledByDefault proves the span layer stays out of the way:
+// a default CollectReport captures counters and stages but no spans.
+func TestObsDisabledByDefault(t *testing.T) {
+	_, rep, err := CollectReport(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Obs == nil {
+		t.Fatal("report is missing the obs snapshot")
+	}
+	if len(rep.Obs.Spans) != 0 || len(rep.Obs.Events) != 0 {
+		t.Errorf("default run captured %d spans, %d events",
+			len(rep.Obs.Spans), len(rep.Obs.Events))
+	}
+	if rep.Obs.Summary.StageDuration(obs.StageSweep) == 0 {
+		t.Error("stage timers should run even with tracing disabled")
+	}
+}

@@ -62,6 +62,12 @@ type Report struct {
 	// and put-error counts. Wall-clock varies run to run, so it is
 	// reported but never feeds the dataset.
 	Pipeline *obs.Summary
+	// Obs is the full observability snapshot of the run: spans, events,
+	// histograms and lane labels in addition to the flat summary. It is
+	// what the -obs-trace / -obs-metrics exports render. Span capture
+	// is off by default; without it the snapshot holds only the always-
+	// on counters and stage timers.
+	Obs *obs.Snapshot
 }
 
 // TraceCacheHits returns the number of trace-phase cache hits.
@@ -69,7 +75,7 @@ func (r *Report) TraceCacheHits() int64 {
 	if r == nil {
 		return 0
 	}
-	return r.Pipeline.Counter("trace-cache-hits")
+	return r.Pipeline.Counter(obs.CtrCacheHits)
 }
 
 // TraceCacheMisses returns the number of trace-phase cache misses.
@@ -77,7 +83,25 @@ func (r *Report) TraceCacheMisses() int64 {
 	if r == nil {
 		return 0
 	}
-	return r.Pipeline.Counter("trace-cache-misses")
+	return r.Pipeline.Counter(obs.CtrCacheMisses)
+}
+
+// TraceCacheEvictions returns the number of store-level LRU evictions
+// seen by the run (0 unless the store was attached to the recorder).
+func (r *Report) TraceCacheEvictions() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.Pipeline.Counter(obs.CtrCacheEvictions)
+}
+
+// TraceCacheHealed returns the number of damaged cache entries the
+// store detected and deleted during the run.
+func (r *Report) TraceCacheHealed() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.Pipeline.Counter(obs.CtrCacheCorrupt)
 }
 
 // Coverage returns the fraction of intended cells that were measured.

@@ -11,6 +11,7 @@ import (
 	"gpuport/internal/cost"
 	"gpuport/internal/graph"
 	"gpuport/internal/irgl"
+	"gpuport/internal/obs"
 	"gpuport/internal/tracecache"
 )
 
@@ -80,7 +81,9 @@ func (p *orderedProgress) emit(i int, line string) error {
 // pairs and returns the context's error.
 func Traces(o Options) ([]*cost.TraceProfile, error) {
 	o.fill()
-	defer o.Obs.Start("trace")()
+	defer o.Obs.Start(obs.StageTrace)()
+	phase := o.Obs.StartSpan(obs.StageTrace, 0)
+	defer phase.End()
 	pairs := tracePairs(&o)
 
 	// Fingerprint each input once, not once per pair: hashing a large
@@ -123,17 +126,29 @@ func Traces(o Options) ([]*cost.TraceProfile, error) {
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range next {
 				if ctx.Err() != nil {
 					continue // drain without starting new work
 				}
-				tr, cached, err := traceOne(&o, pairs[i], fps[pairs[i].in])
+				p := pairs[i]
+				// Span identity comes from (app, input); the worker id is
+				// only the export lane, so the trace canonicalises
+				// identically at any worker count.
+				sp := phase.StartSpan(obs.SpanTracePair, w,
+					obs.String(obs.AttrApp, p.app.Name), obs.String(obs.AttrInput, p.in.Name))
+				tr, cached, err := traceOne(&o, p, fps[p.in])
 				if err != nil {
+					sp.End()
 					fail(err)
 					continue
 				}
+				if cached {
+					sp.Event(obs.EvTraceCached)
+				}
+				recordWorkload(&o, tr, i)
+				sp.End()
 				results[i] = cost.NewTraceProfile(tr)
 				verb := "traced"
 				if cached {
@@ -144,7 +159,7 @@ func Traces(o Options) ([]*cost.TraceProfile, error) {
 					fail(err)
 				}
 			}
-		}()
+		}(w)
 	}
 feed:
 	for i := range pairs {
@@ -177,12 +192,12 @@ func traceOne(o *Options, p tracePair, fp string) (*irgl.Trace, bool, error) {
 			// identity, but a tampered entry with a valid checksum must
 			// still never impersonate another pair.
 			if tr.App == p.app.Name && tr.Input == p.in.Name {
-				o.Obs.Add("trace-cache-hits", 1)
+				o.Obs.Add(obs.CtrCacheHits, 1)
 				return tr, true, nil
 			}
-			o.Obs.Add("trace-cache-mismatches", 1)
+			o.Obs.Add(obs.CtrCacheMismatches, 1)
 		}
-		o.Obs.Add("trace-cache-misses", 1)
+		o.Obs.Add(obs.CtrCacheMisses, 1)
 	}
 	tr, output := p.app.Run(p.in)
 	if o.Validate {
@@ -194,8 +209,27 @@ func traceOne(o *Options, p tracePair, fp string) (*irgl.Trace, bool, error) {
 		// A failed write is an observability event, not a failure: the
 		// trace is good, it just will not be cached.
 		if err := o.TraceCache.Put(key, tr); err != nil {
-			o.Obs.Add("trace-cache-put-errors", 1)
+			o.Obs.Add(obs.CtrCachePutErrors, 1)
 		}
 	}
 	return tr, false, nil
+}
+
+// recordWorkload accumulates the simulated-workload accounting of one
+// traced pair: launch/edge/push totals, the per-launch frontier and
+// edge-work histograms (batched worker-locally, merged once), and -
+// when the recorder captures the simulated timeline - the pair's
+// virtual kernel timeline on lane pairIdx.
+func recordWorkload(o *Options, tr *irgl.Trace, pairIdx int) {
+	o.Obs.Add(obs.CtrKernelLaunches, int64(tr.TotalLaunches()))
+	o.Obs.Add(obs.CtrEdgeWork, tr.TotalEdgeWork())
+	o.Obs.Add(obs.CtrAtomicPushes, tr.TotalAtomicPushes())
+	var frontier, edges obs.Hist
+	for i := range tr.Launches {
+		frontier.Observe(tr.Launches[i].Items)
+		edges.Observe(tr.Launches[i].TotalWork)
+	}
+	o.Obs.MergeHist(obs.HistFrontier, &frontier)
+	o.Obs.MergeHist(obs.HistLaunchEdges, &edges)
+	tr.EmitSim(o.Obs, pairIdx)
 }

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Chrome trace-event export. The emitted JSON loads in Perfetto
+// (ui.perfetto.dev) and chrome://tracing; the real harness timeline and
+// the simulated kernel timeline render as two separate processes.
+//
+// The writer is deterministic by construction: spans, events, counters
+// and lane labels come pre-sorted from Snapshot, and every args map is
+// marshalled with encoding/json (which sorts keys). The only run-to-run
+// variation left in the file is wall-clock data on the real track -
+// ts/dur values and the worker tids - which CanonicalTrace strips, so
+// two runs of the same sweep canonicalise to identical bytes.
+
+// trace pids: one Chrome "process" per track.
+const (
+	pidReal = 1
+	pidSim  = 2
+)
+
+// chromeEvent is one entry of the traceEvents array. Field order (and
+// json key sorting inside Args) fixes the byte layout.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Ts    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+func trackPid(t Track) int {
+	if t == TrackSim {
+		return pidSim
+	}
+	return pidReal
+}
+
+// us converts recorder nanoseconds to Chrome microseconds. Only the
+// real track needs converting: the simulated track's clock is unit-less
+// virtual time, carried through as integer trace units so its values
+// stay exact (and byte-stable) in the JSON.
+func us(ns int64) float64 { return float64(ns) / 1e3 }
+
+// hexID renders a span ID the way the trace args carry it.
+func hexID(id uint64) string { return "0x" + strconv.FormatUint(id, 16) }
+
+// WriteChromeTrace writes the snapshot in Chrome trace-event format:
+// process/thread metadata, one counter event per counter, one complete
+// ("X") event per span, and one instant ("i") event per event. One
+// traceEvents entry per line, for greppability and stable diffs.
+func WriteChromeTrace(w io.Writer, s *Snapshot) error {
+	if s == nil {
+		s = &Snapshot{}
+	}
+	events := make([]chromeEvent, 0, 8+len(s.Spans)+len(s.Events)+len(s.Counters))
+	events = append(events,
+		chromeEvent{Name: "process_name", Ph: "M", Pid: pidReal, Args: map[string]any{"name": "harness (real)"}},
+		chromeEvent{Name: "process_name", Ph: "M", Pid: pidSim, Args: map[string]any{"name": "simulated kernel timeline"}},
+	)
+	for _, ln := range s.Lanes {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: trackPid(ln.Track), Tid: ln.Lane,
+			Args: map[string]any{"name": ln.Name},
+		})
+	}
+	for _, c := range s.Counters {
+		events = append(events, chromeEvent{
+			Name: c.Name, Ph: "C", Pid: pidReal,
+			Args: map[string]any{"value": c.Value},
+		})
+	}
+	for _, sp := range s.Spans {
+		ts, d := us(sp.StartNS), us(sp.DurNS)
+		if sp.Track == TrackSim {
+			ts, d = float64(sp.StartNS), float64(sp.DurNS)
+		}
+		args := attrArgs(sp.Attrs)
+		args["id"] = hexID(sp.ID)
+		if sp.Parent != 0 {
+			args["parent"] = hexID(sp.Parent)
+		}
+		events = append(events, chromeEvent{
+			Name: sp.Name, Ph: "X", Pid: trackPid(sp.Track), Tid: sp.Lane,
+			Ts: ts, Dur: &d, Args: args,
+		})
+	}
+	for _, ev := range s.Events {
+		ts := us(ev.TSNS)
+		if ev.Track == TrackSim {
+			ts = float64(ev.TSNS)
+		}
+		args := attrArgs(ev.Attrs)
+		if ev.SpanID != 0 {
+			args["span"] = hexID(ev.SpanID)
+		}
+		events = append(events, chromeEvent{
+			Name: ev.Name, Ph: "i", Pid: trackPid(ev.Track), Tid: ev.Lane,
+			Ts: ts, Scope: "t", Args: args,
+		})
+	}
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	for i, ev := range events {
+		blob, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			bw.WriteString(",\n")
+		}
+		bw.Write(blob)
+	}
+	fmt.Fprint(bw, "\n]}\n")
+	return bw.Flush()
+}
+
+func attrArgs(attrs []Attr) map[string]any {
+	args := make(map[string]any, len(attrs)+2)
+	for _, a := range attrs {
+		args[a.Key] = a.Value
+	}
+	return args
+}
+
+// CanonicalTrace rewrites an exported Chrome trace with every
+// scheduling-dependent field neutralised: on the real track, ts and dur
+// are zeroed and tids (worker ids) are cleared; the simulated track is
+// left untouched, because its virtual clock is deterministic. Two runs
+// of the same sweep - at any worker counts - must canonicalise to
+// identical bytes; the determinism golden test enforces exactly that.
+func CanonicalTrace(raw []byte) ([]byte, error) {
+	var doc struct {
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("obs: canonical trace: %w", err)
+	}
+	out := make([]map[string]any, 0, len(doc.TraceEvents))
+	for _, rawEv := range doc.TraceEvents {
+		var ev map[string]any
+		if err := json.Unmarshal(rawEv, &ev); err != nil {
+			return nil, fmt.Errorf("obs: canonical trace: %w", err)
+		}
+		if pid, _ := ev["pid"].(float64); int(pid) == pidReal {
+			if _, ok := ev["ts"]; ok {
+				ev["ts"] = 0
+			}
+			if _, ok := ev["dur"]; ok {
+				ev["dur"] = 0
+			}
+			ev["tid"] = 0
+		}
+		out = append(out, ev)
+	}
+	// The writer's order is already deterministic, but a canonical form
+	// should not depend on that: sort by the serialised event itself
+	// after neutralisation.
+	blobs := make([]string, len(out))
+	for i, ev := range out {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return nil, err
+		}
+		blobs[i] = string(b)
+	}
+	sort.Strings(blobs)
+	var buf []byte
+	for _, b := range blobs {
+		buf = append(buf, b...)
+		buf = append(buf, '\n')
+	}
+	return buf, nil
+}

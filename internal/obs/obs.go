@@ -78,17 +78,28 @@ func (s *Summary) Format(w io.Writer) {
 	}
 }
 
-// Recorder accumulates stages and counters. Safe for concurrent use;
-// the zero value is NOT usable, call New.
+// Recorder accumulates stages and counters - and, when tracing is
+// enabled, hierarchical spans, events and histograms (see span.go).
+// Safe for concurrent use; the zero value is NOT usable, call New.
 type Recorder struct {
 	// now is the clock; tests may swap it before concurrent use begins.
 	now func() time.Time
+	// tracing/sim gate span capture; set before concurrent use begins.
+	tracing, sim bool
 
 	mu       sync.Mutex
 	stages   []Stage
 	stageIdx map[string]int
 	counters []Counter
 	countIdx map[string]int
+
+	// epoch anchors real-track timestamps; set on first observation.
+	epoch   time.Time
+	spans   []Span
+	events  []Event
+	hists   []Hist
+	histIdx map[string]int
+	lanes   []LaneName
 }
 
 // New returns an empty recorder using the real clock.
@@ -97,6 +108,7 @@ func New() *Recorder {
 		now:      time.Now,
 		stageIdx: map[string]int{},
 		countIdx: map[string]int{},
+		histIdx:  map[string]int{},
 	}
 }
 

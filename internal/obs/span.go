@@ -1,0 +1,401 @@
+package obs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Track separates the two timelines a run records: the real wall-clock
+// of the harness itself, and the simulated (virtual-nanosecond)
+// timeline reconstructed from application traces.
+type Track uint8
+
+const (
+	// TrackReal is the harness timeline: pipeline stages, per-pair and
+	// per-job spans, retry events. Real timestamps and durations vary
+	// run to run and are therefore stripped by CanonicalTrace.
+	TrackReal Track = iota
+	// TrackSim is the simulated timeline: kernel launches and host
+	// loops on a virtual clock derived purely from the trace, so it is
+	// bit-identical across runs.
+	TrackSim
+)
+
+// String returns the export name of the track.
+func (t Track) String() string {
+	if t == TrackSim {
+		return "sim"
+	}
+	return "real"
+}
+
+// Attr is one typed span or event attribute. Values are stored
+// canonically rendered so snapshots compare byte-for-byte.
+type Attr struct {
+	Key, Value string
+}
+
+// String builds a string attribute.
+func String(key, value string) Attr { return Attr{key, value} }
+
+// Int builds an integer attribute.
+func Int(key string, value int64) Attr { return Attr{key, strconv.FormatInt(value, 10)} }
+
+// Bool builds a boolean attribute.
+func Bool(key string, value bool) Attr { return Attr{key, strconv.FormatBool(value)} }
+
+// Span is one completed timed section on a track. IDs are
+// deterministic: a span's ID is a hash of its parent ID, name and
+// attributes, so the same logical span gets the same ID in every run
+// regardless of scheduling. Identity must therefore be carried by the
+// attributes (app, input, chip, launch index, ...), never by arrival
+// order - the instrumented call sites all do this.
+type Span struct {
+	// ID is the deterministic span identity; Parent is 0 for roots.
+	ID, Parent uint64
+	Name       string
+	Track      Track
+	// Lane is the export thread: the worker id on the real track
+	// (scheduling-dependent, stripped by CanonicalTrace), the
+	// canonical pair index on the simulated track (deterministic).
+	Lane  int
+	Attrs []Attr
+	// StartNS/DurNS are nanoseconds since the recorder epoch on the
+	// real track, virtual nanoseconds on the simulated track.
+	StartNS, DurNS int64
+}
+
+// Event is one instantaneous occurrence attached to a span.
+type Event struct {
+	// SpanID names the owning span (0 for a free-standing event).
+	SpanID uint64
+	Name   string
+	Track  Track
+	Lane   int
+	TSNS   int64
+	Attrs  []Attr
+}
+
+// Hist is a fixed-bound histogram of a deterministic integer quantity.
+// Bucket i counts observations <= HistBounds[i]; the final bucket is
+// the +Inf overflow. Sum and Count are integers, so merging worker-
+// local histograms in any order yields identical snapshots.
+type Hist struct {
+	Name    string
+	Buckets [HistBuckets]int64
+	Sum     int64
+	Count   int64
+}
+
+// Observe adds one observation.
+func (h *Hist) Observe(v int64) {
+	i := sort.Search(len(HistBounds), func(i int) bool { return v <= HistBounds[i] })
+	h.Buckets[i]++
+	h.Sum += v
+	h.Count++
+}
+
+// merge folds o into h.
+func (h *Hist) merge(o *Hist) {
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	h.Sum += o.Sum
+	h.Count += o.Count
+}
+
+// LaneName labels one export thread of a track.
+type LaneName struct {
+	Track Track
+	Lane  int
+	Name  string
+}
+
+// spanID derives the deterministic identity of a span.
+func spanID(parent uint64, name string, attrs []Attr) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", parent, name)
+	for _, a := range attrs {
+		fmt.Fprintf(h, "|%s=%s", a.Key, a.Value)
+	}
+	id := h.Sum64()
+	if id == 0 {
+		id = 1 // 0 is reserved for "no parent"
+	}
+	return id
+}
+
+// EnableTracing turns on span and event capture (off by default: the
+// stage timers and counters of the original recorder cost nothing and
+// are always on, while a traced full sweep records thousands of spans).
+// Call before concurrent use begins.
+func (r *Recorder) EnableTracing() *Recorder {
+	if r != nil {
+		r.tracing = true
+	}
+	return r
+}
+
+// EnableSim additionally turns on the simulated kernel timeline, the
+// bulkiest capture (one span per kernel launch per traced pair).
+// Implies EnableTracing.
+func (r *Recorder) EnableSim() *Recorder {
+	if r != nil {
+		r.tracing = true
+		r.sim = true
+	}
+	return r
+}
+
+// TracingEnabled reports whether spans and events are being captured.
+func (r *Recorder) TracingEnabled() bool { return r != nil && r.tracing }
+
+// SimEnabled reports whether the simulated timeline is being captured.
+func (r *Recorder) SimEnabled() bool { return r != nil && r.sim }
+
+// epochNS returns nanoseconds since the recorder's first observation.
+func (r *Recorder) epochNS() int64 {
+	now := r.now()
+	r.mu.Lock()
+	if r.epoch.IsZero() {
+		r.epoch = now
+	}
+	d := now.Sub(r.epoch)
+	r.mu.Unlock()
+	return d.Nanoseconds()
+}
+
+// SpanHandle is an open span. End it exactly once; events and child
+// spans may be attached while it is open. A nil handle (tracing
+// disabled) is a no-op, so instrumented code never needs checks.
+type SpanHandle struct {
+	r    *Recorder
+	span Span
+}
+
+// StartSpan opens a root span on the real track. The attributes are
+// part of the span's identity and must make it unique among its
+// siblings (see Span).
+func (r *Recorder) StartSpan(name string, lane int, attrs ...Attr) *SpanHandle {
+	if !r.TracingEnabled() {
+		return nil
+	}
+	return &SpanHandle{r: r, span: Span{
+		ID:      spanID(0, name, attrs),
+		Name:    name,
+		Lane:    lane,
+		Attrs:   attrs,
+		StartNS: r.epochNS(),
+	}}
+}
+
+// StartSpan opens a child span of h on the real track.
+func (h *SpanHandle) StartSpan(name string, lane int, attrs ...Attr) *SpanHandle {
+	if h == nil {
+		return nil
+	}
+	return &SpanHandle{r: h.r, span: Span{
+		ID:      spanID(h.span.ID, name, attrs),
+		Parent:  h.span.ID,
+		Name:    name,
+		Lane:    lane,
+		Attrs:   attrs,
+		StartNS: h.r.epochNS(),
+	}}
+}
+
+// ID returns the span's deterministic identity (0 on a nil handle).
+func (h *SpanHandle) ID() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.span.ID
+}
+
+// Event attaches an instantaneous event to the span.
+func (h *SpanHandle) Event(name string, attrs ...Attr) {
+	if h == nil {
+		return
+	}
+	h.r.event(Event{
+		SpanID: h.span.ID,
+		Name:   name,
+		Track:  TrackReal,
+		Lane:   h.span.Lane,
+		TSNS:   h.r.epochNS(),
+		Attrs:  attrs,
+	})
+}
+
+// Event records a free-standing event on the real track; spanID may be
+// 0 or a span obtained from SpanHandle.ID (this is how packages that
+// only hold a span ID, not a handle, attach their events).
+func (r *Recorder) Event(name string, spanID uint64, attrs ...Attr) {
+	if !r.TracingEnabled() {
+		return
+	}
+	r.event(Event{
+		SpanID: spanID,
+		Name:   name,
+		Track:  TrackReal,
+		TSNS:   r.epochNS(),
+		Attrs:  attrs,
+	})
+}
+
+func (r *Recorder) event(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// End closes the span, recording its duration.
+func (h *SpanHandle) End() {
+	if h == nil {
+		return
+	}
+	h.span.DurNS = h.r.epochNS() - h.span.StartNS
+	h.r.mu.Lock()
+	h.r.spans = append(h.r.spans, h.span)
+	h.r.mu.Unlock()
+}
+
+// SimSpan records one completed span on the simulated track with an
+// explicit virtual interval. Returns the span's ID for parenting.
+func (r *Recorder) SimSpan(lane int, parent uint64, name string, startNS, durNS int64, attrs ...Attr) uint64 {
+	if !r.SimEnabled() {
+		return 0
+	}
+	s := Span{
+		ID:      spanID(parent, name, attrs),
+		Parent:  parent,
+		Name:    name,
+		Track:   TrackSim,
+		Lane:    lane,
+		Attrs:   attrs,
+		StartNS: startNS,
+		DurNS:   durNS,
+	}
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+	return s.ID
+}
+
+// NameLane labels an export thread (Chrome trace thread_name metadata).
+// Naming the same lane twice keeps the first name.
+func (r *Recorder) NameLane(track Track, lane int, name string) {
+	if !r.TracingEnabled() {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, ln := range r.lanes {
+		if ln.Track == track && ln.Lane == lane {
+			return
+		}
+	}
+	r.lanes = append(r.lanes, LaneName{track, lane, name})
+}
+
+// ObserveHist adds one observation to the named histogram. For bulk
+// observation from a worker, fill a local Hist and MergeHist it once.
+func (r *Recorder) ObserveHist(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.histByName(name).Observe(v)
+	r.mu.Unlock()
+}
+
+// MergeHist folds a worker-local histogram into the named one. Sums
+// and counts are integers, so merge order cannot change the snapshot.
+func (r *Recorder) MergeHist(name string, h *Hist) {
+	if r == nil || h == nil || h.Count == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.histByName(name).merge(h)
+	r.mu.Unlock()
+}
+
+// histByName returns the named histogram, creating it; callers hold mu.
+func (r *Recorder) histByName(name string) *Hist {
+	i, ok := r.histIdx[name]
+	if !ok {
+		i = len(r.hists)
+		r.histIdx[name] = i
+		r.hists = append(r.hists, Hist{Name: name})
+	}
+	return &r.hists[i]
+}
+
+// Snapshot is the full immutable state of a Recorder: the flat summary
+// plus spans, events, histograms and lane labels, all in deterministic
+// order (spans by track and ID, events by track, span, name and
+// attributes, histograms and lanes sorted). Only spans that have Ended
+// by snapshot time are included.
+type Snapshot struct {
+	Summary  *Summary
+	Spans    []Span
+	Events   []Event
+	Hists    []Hist
+	Lanes    []LaneName
+	Counters []Counter // sorted by name (Summary keeps first-use order)
+}
+
+// Snapshot captures the recorder. The recorder remains usable.
+func (r *Recorder) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	sum := r.Summary()
+	r.mu.Lock()
+	s := &Snapshot{
+		Summary: sum,
+		Spans:   append([]Span(nil), r.spans...),
+		Events:  append([]Event(nil), r.events...),
+		Hists:   append([]Hist(nil), r.hists...),
+		Lanes:   append([]LaneName(nil), r.lanes...),
+	}
+	r.mu.Unlock()
+	s.Counters = append([]Counter(nil), sum.Counters...)
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Spans, func(i, j int) bool {
+		a, b := s.Spans[i], s.Spans[j]
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		return a.StartNS < b.StartNS
+	})
+	sort.Slice(s.Events, func(i, j int) bool { return eventKey(s.Events[i]) < eventKey(s.Events[j]) })
+	sort.Slice(s.Hists, func(i, j int) bool { return s.Hists[i].Name < s.Hists[j].Name })
+	sort.Slice(s.Lanes, func(i, j int) bool {
+		a, b := s.Lanes[i], s.Lanes[j]
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		return a.Lane < b.Lane
+	})
+	return s
+}
+
+// eventKey is the deterministic sort key of an event. Real-track
+// timestamps are scheduling-dependent and deliberately excluded:
+// identity comes from the owning span, name and attributes.
+func eventKey(e Event) string {
+	k := fmt.Sprintf("%d|%020d|%s", e.Track, e.SpanID, e.Name)
+	for _, a := range e.Attrs {
+		k += "|" + a.Key + "=" + a.Value
+	}
+	if e.Track == TrackSim {
+		k += fmt.Sprintf("|%020d", e.TSNS)
+	}
+	return k
+}

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"gpuport/internal/measure"
+	"gpuport/internal/obs"
 )
 
 // TraceCacheSummary renders the trace-cache traffic of a collection run
@@ -16,9 +17,10 @@ func TraceCacheSummary(w io.Writer, rep *measure.Report) {
 		return
 	}
 	hits, misses := rep.TraceCacheHits(), rep.TraceCacheMisses()
-	putErrs := rep.Pipeline.Counter("trace-cache-put-errors")
-	mismatches := rep.Pipeline.Counter("trace-cache-mismatches")
-	if hits+misses+putErrs+mismatches == 0 {
+	putErrs := rep.Pipeline.Counter(obs.CtrCachePutErrors)
+	mismatches := rep.Pipeline.Counter(obs.CtrCacheMismatches)
+	evicted, healed := rep.TraceCacheEvictions(), rep.TraceCacheHealed()
+	if hits+misses+putErrs+mismatches+evicted+healed == 0 {
 		return
 	}
 	t := NewTable("Trace cache", "Metric", "Value").RightAlign(1)
@@ -32,6 +34,12 @@ func TraceCacheSummary(w io.Writer, rep *measure.Report) {
 	}
 	if putErrs > 0 {
 		t.Row("write errors (not cached)", putErrs)
+	}
+	if evicted > 0 {
+		t.Row("evictions (size cap)", evicted)
+	}
+	if healed > 0 {
+		t.Row("damaged entries healed", healed)
 	}
 	t.Render(w)
 }

@@ -18,9 +18,9 @@ func TestTraceCacheSummary(t *testing.T) {
 	}
 
 	rep := &measure.Report{Pipeline: &obs.Summary{Counters: []obs.Counter{
-		{Name: "trace-cache-hits", Value: 48},
-		{Name: "trace-cache-misses", Value: 3},
-		{Name: "trace-cache-put-errors", Value: 1},
+		{Name: obs.CtrCacheHits, Value: 48},
+		{Name: obs.CtrCacheMisses, Value: 3},
+		{Name: obs.CtrCachePutErrors, Value: 1},
 	}}}
 	TraceCacheSummary(&b, rep)
 	out := b.String()
@@ -29,7 +29,25 @@ func TestTraceCacheSummary(t *testing.T) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
 	}
-	if strings.Contains(out, "identity mismatches") {
-		t.Error("mismatch row rendered without mismatches")
+	for _, skip := range []string{"identity mismatches", "evictions", "healed"} {
+		if strings.Contains(out, skip) {
+			t.Errorf("%s row rendered without any", skip)
+		}
+	}
+
+	// Store-level rows render when the store reported traffic.
+	b.Reset()
+	rep = &measure.Report{Pipeline: &obs.Summary{Counters: []obs.Counter{
+		{Name: obs.CtrCacheHits, Value: 10},
+		{Name: obs.CtrCacheMisses, Value: 2},
+		{Name: obs.CtrCacheEvictions, Value: 4},
+		{Name: obs.CtrCacheCorrupt, Value: 1},
+	}}}
+	TraceCacheSummary(&b, rep)
+	out = b.String()
+	for _, want := range []string{"evictions (size cap)", "damaged entries healed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"gpuport/internal/irgl"
+	"gpuport/internal/obs"
 )
 
 // formatVersion is written into every entry header. Bump it whenever
@@ -100,6 +101,11 @@ type Store struct {
 	dir      string
 	maxBytes int64
 
+	// rec, when set, receives store-level events the pipeline cannot
+	// see from its own Get/Put counters: LRU evictions and healed
+	// (deleted-because-damaged) entries.
+	rec *obs.Recorder
+
 	mu    sync.Mutex
 	stats Stats
 }
@@ -121,6 +127,17 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// SetObs attaches an observability recorder. The store then counts
+// evictions and healed entries (obs.CtrCacheEvictions,
+// obs.CtrCacheCorrupt) and, when tracing is enabled, emits one event
+// per occurrence naming the entry file. Deliberately distinct from the
+// pipeline-level hit/miss counters so nothing is double counted. Call
+// before concurrent use begins.
+func (s *Store) SetObs(rec *obs.Recorder) *Store {
+	s.rec = rec
+	return s
+}
 
 // Stats returns a snapshot of the traffic counters.
 func (s *Store) Stats() Stats {
@@ -147,6 +164,8 @@ func (s *Store) Get(k Key) (*irgl.Trace, bool) {
 	if err != nil {
 		os.Remove(path)
 		s.count(func(st *Stats) { st.Misses++; st.Corrupt++ })
+		s.rec.Add(obs.CtrCacheCorrupt, 1)
+		s.rec.Event(obs.EvCacheHeal, 0, obs.String(obs.AttrPath, filepath.Base(path)))
 		return nil, false
 	}
 	// Touch the entry so LRU eviction sees the access. Best-effort: a
@@ -283,6 +302,8 @@ func (s *Store) evict(keep string) error {
 		}
 		total -= e.size
 		s.stats.Evicted++
+		s.rec.Add(obs.CtrCacheEvictions, 1)
+		s.rec.Event(obs.EvCacheEvict, 0, obs.String(obs.AttrPath, filepath.Base(e.path)))
 	}
 	return nil
 }
