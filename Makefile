@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build fmt-check lint test race conform conform-mutate fuzz cover ci bench bench-fault bench-trace bench-obs bench-ci profile clean
+.PHONY: all vet build fmt-check lint staticgate test race conform conform-mutate fuzz cover ci bench bench-fault bench-trace bench-obs bench-ci profile clean
 
 all: ci
 
@@ -17,11 +17,19 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
-# lint runs the repo-local static gate (see cmd/lintgate): gofmt
-# cleanliness plus the determinism rules (time.Now confined to the
-# instrumentation layers, math/rand confined to internal/stats).
+# lint runs the repo-local style gate (see cmd/lintgate): gofmt
+# cleanliness and the file-level rules (no unsafe, tracked t.Skip).
 lint:
 	$(GO) run ./cmd/lintgate .
+
+# staticgate runs the type-aware whole-program gate (see
+# internal/staticlint): wall-clock and randomness confinement, error
+# handling, float comparisons, context propagation, mutex hygiene,
+# obs naming, and the determinism proof over the named root set. The
+# committed baseline may only shrink, and the zero budget keeps it
+# empty.
+staticgate:
+	$(GO) run ./cmd/staticgate -baseline .staticgate-baseline.json -baseline-budget 0 .
 
 test:
 	$(GO) test ./...
@@ -63,11 +71,12 @@ cover:
 	$(GO) run ./cmd/covercheck -in cover.out \
 		-floor gpuport/internal/apps,90 \
 		-floor gpuport/internal/cost,92 \
-		-floor gpuport/internal/irgl,89
+		-floor gpuport/internal/irgl,89 \
+		-floor gpuport/internal/staticlint,90
 	@rm -f cover.out
 
 # ci is the full gate: everything a change must pass before merging.
-ci: vet build fmt-check lint test race conform conform-mutate cover
+ci: vet build fmt-check lint staticgate test race conform conform-mutate cover
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -109,10 +109,16 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	report.TuplesSummary(w, d)
-	report.Coverage(w, rep)
-	report.FaultSummary(w, rep)
-	report.PartialTuples(w, d)
+	for _, err := range []error{
+		report.TuplesSummary(w, d),
+		report.Coverage(w, rep),
+		report.FaultSummary(w, rep),
+		report.PartialTuples(w, d),
+	} {
+		if err != nil {
+			return err
+		}
+	}
 
 	if !*compare {
 		return nil
@@ -145,8 +151,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	t.Row("Table III rank correlation (tau)", report.F(tau, 3),
 		report.F(analysis.FaultRankTauFloor, 2),
 		verdict(tau, analysis.FaultRankTauFloor))
-	t.Render(w)
-	return nil
+	return t.Render(w)
 }
 
 // isqrt returns the integer square root, used to size the road grid so

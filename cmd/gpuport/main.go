@@ -264,8 +264,12 @@ func dispatch(rest []string, w io.Writer, seed uint64, inFile, outFile string, o
 		if err != nil {
 			return err
 		}
-		report.TuplesSummary(w, s.Dataset())
-		printCampaign(w, s)
+		if err := report.TuplesSummary(w, s.Dataset()); err != nil {
+			return err
+		}
+		if err := printCampaign(w, s); err != nil {
+			return err
+		}
 		if outFile == "" {
 			fmt.Fprintln(w, "hint: pass -out file.csv to persist the dataset")
 		}
@@ -289,12 +293,12 @@ func dispatch(rest []string, w io.Writer, seed uint64, inFile, outFile string, o
 		}
 		return printFigure(w, n, loader)
 	case "micro":
-		printTableX(w)
-		printFigure5(w)
-		return nil
+		if err := printTableX(w); err != nil {
+			return err
+		}
+		return printFigure5(w)
 	case "inputs":
-		printInputs(w)
-		return nil
+		return printInputs(w)
 	case "sampling":
 		dims := analysis.Dims{Chip: true}
 		if len(rest) >= 2 {
@@ -309,8 +313,7 @@ func dispatch(rest []string, w io.Writer, seed uint64, inFile, outFile string, o
 			return err
 		}
 		pts := s.SamplingCurve(dims, []float64{0.1, 0.2, 0.3, 0.5, 0.75, 1.0}, 5, seed)
-		report.SamplingCurve(w, dims, pts)
-		return nil
+		return report.SamplingCurve(w, dims, pts)
 	case "predict":
 		dim := analysis.LOOApp
 		if len(rest) >= 2 {
@@ -329,8 +332,7 @@ func dispatch(rest []string, w io.Writer, seed uint64, inFile, outFile string, o
 		if err != nil {
 			return err
 		}
-		report.CrossValidation(w, dim.String(), s.CrossValidate(dim))
-		return nil
+		return report.CrossValidation(w, dim.String(), s.CrossValidate(dim))
 	case "report":
 		// A full markdown report: every table and figure plus the
 		// extension experiments. Written to -out (default REPORT.md).
@@ -369,8 +371,7 @@ func dispatch(rest []string, w io.Writer, seed uint64, inFile, outFile string, o
 		t.Row("per-chip decision agreement", report.F(res.ChipAgreement*100, 1)+"%")
 		t.Row("decisions the fresh domain leaves open", report.F(res.ChipUndecided*100, 1)+"%")
 		t.Row("Table III rank correlation (tau)", report.F(res.RankTau, 3))
-		t.Render(w)
-		return nil
+		return t.Render(w)
 	case "stability":
 		n := 3
 		if len(rest) >= 2 {
@@ -397,8 +398,7 @@ func dispatch(rest []string, w io.Writer, seed uint64, inFile, outFile string, o
 			t.Row(res.Seeds[i], res.GlobalConfigs[i],
 				report.F(res.RankTau[i], 3), report.F(res.ChipAgreement[i]*100, 1)+"%")
 		}
-		t.Render(w)
-		return nil
+		return t.Render(w)
 	case "decisions":
 		dims := analysis.Dims{}
 		if len(rest) >= 2 {
@@ -419,26 +419,52 @@ func dispatch(rest []string, w io.Writer, seed uint64, inFile, outFile string, o
 	}
 }
 
+// emit chains renderer calls and plain writes, latching the first
+// error so report assembly reads linearly. The report subcommand
+// writes to a file, so write errors (disk full, closed pipe) must
+// reach the exit status.
+type emit struct {
+	w   io.Writer
+	err error
+}
+
+func (e *emit) do(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+func (e *emit) f(format string, args ...any) {
+	if e.err == nil {
+		_, e.err = fmt.Fprintf(e.w, format, args...)
+	}
+}
+
+func (e *emit) ln(args ...any) {
+	if e.err == nil {
+		_, e.err = fmt.Fprintln(e.w, args...)
+	}
+}
+
 // writeFullReport emits the complete study plus the extension
 // experiments as one markdown document.
 func writeFullReport(w io.Writer, s *study.Study, seed uint64) error {
-	fmt.Fprintln(w, "# gpuport study report")
-	fmt.Fprintln(w)
-	fmt.Fprintf(w, "Reproduction of \"One Size Doesn't Fit All\" (IISWC 2019); seed %d.\n\n", seed)
-	if err := printAll(w, s); err != nil {
-		return err
-	}
-	fmt.Fprintln(w, "\n## Extension: sampling sufficiency (Section IX future work)")
-	fmt.Fprintln(w)
+	e := &emit{w: w}
+	e.ln("# gpuport study report")
+	e.ln()
+	e.f("Reproduction of \"One Size Doesn't Fit All\" (IISWC 2019); seed %d.\n\n", seed)
+	e.do(printAll(w, s))
+	e.ln("\n## Extension: sampling sufficiency (Section IX future work)")
+	e.ln()
 	pts := s.SamplingCurve(analysis.Dims{Chip: true}, []float64{0.1, 0.2, 0.3, 0.5, 0.75, 1.0}, 5, seed)
-	report.SamplingCurve(w, analysis.Dims{Chip: true}, pts)
-	fmt.Fprintln(w, "\n## Extension: leave-one-out prediction (Section IX future work)")
-	fmt.Fprintln(w)
+	e.do(report.SamplingCurve(w, analysis.Dims{Chip: true}, pts))
+	e.ln("\n## Extension: leave-one-out prediction (Section IX future work)")
+	e.ln()
 	for _, dim := range []analysis.LOODimension{analysis.LOOApp, analysis.LOOInput, analysis.LOOChip} {
-		report.CrossValidation(w, dim.String(), s.CrossValidate(dim))
-		fmt.Fprintln(w)
+		e.do(report.CrossValidation(w, dim.String(), s.CrossValidate(dim)))
+		e.ln()
 	}
-	return nil
+	return e.err
 }
 
 func parseDims(name string) (analysis.Dims, error) {
@@ -472,7 +498,9 @@ func loadOrCollect(inFile, outFile string, opts measure.Options) (*study.Study, 
 		// counters go to the progress stream, never the report proper -
 		// wall-clock is not reproducible output.
 		if rep := s.Report(); rep != nil {
-			rep.Pipeline.Format(opts.Progress)
+			// Progress logging is advisory; a broken -v stream must not
+			// abort the collection whose results are already in hand.
+			_ = rep.Pipeline.Format(opts.Progress)
 		}
 	}
 	if outFile != "" {
@@ -491,60 +519,65 @@ func loadOrCollect(inFile, outFile string, opts measure.Options) (*study.Study, 
 // printCampaign renders the collection accounting when there is
 // anything to tell: fault injection, missing cells, resumed cells or
 // checkpoint trouble. Clean non-resumed runs stay silent.
-func printCampaign(w io.Writer, s *study.Study) {
+func printCampaign(w io.Writer, s *study.Study) error {
 	rep := s.Report()
 	// Trace-cache accounting renders whenever the cache saw traffic
 	// (and nothing otherwise), independently of fault eventfulness.
-	report.TraceCacheSummary(w, rep)
-	if rep == nil || !rep.Eventful() {
-		return
+	if err := report.TraceCacheSummary(w, rep); err != nil {
+		return err
 	}
-	report.Coverage(w, rep)
-	report.FaultSummary(w, rep)
-	report.PartialTuples(w, s.Dataset())
+	if rep == nil || !rep.Eventful() {
+		return nil
+	}
+	e := &emit{w: w}
+	e.do(report.Coverage(w, rep))
+	e.do(report.FaultSummary(w, rep))
+	e.do(report.PartialTuples(w, s.Dataset()))
+	return e.err
 }
 
 func printAll(w io.Writer, s *study.Study) error {
 	d := s.Dataset()
-	report.TuplesSummary(w, d)
-	printCampaign(w, s)
-	fmt.Fprintln(w)
-	report.Chips(w, chip.All())
-	fmt.Fprintln(w)
-	report.Extremes(w, s.Extremes())
-	fmt.Fprintf(w, "max oracle geomean speedup over baseline: %.2fx\n\n", analysis.MaxOracleGeoMean(d))
+	e := &emit{w: w}
+	e.do(report.TuplesSummary(w, d))
+	e.do(printCampaign(w, s))
+	e.ln()
+	e.do(report.Chips(w, chip.All()))
+	e.ln()
+	e.do(report.Extremes(w, s.Extremes()))
+	e.f("max oracle geomean speedup over baseline: %.2fx\n\n", analysis.MaxOracleGeoMean(d))
 
-	printTable3(w, s)
-	fmt.Fprintln(w)
-	printTable4(w, s)
-	fmt.Fprintln(w)
+	e.do(printTable3(w, s))
+	e.ln()
+	e.do(printTable4(w, s))
+	e.ln()
 
-	report.Strategies(w)
-	fmt.Fprintln(w)
-	report.OptSummary(w)
-	fmt.Fprintln(w)
-	report.Apps(w, apps.All())
-	fmt.Fprintln(w)
-	printInputs(w)
-	fmt.Fprintln(w)
+	e.do(report.Strategies(w))
+	e.ln()
+	e.do(report.OptSummary(w))
+	e.ln()
+	e.do(report.Apps(w, apps.All()))
+	e.ln()
+	e.do(printInputs(w))
+	e.ln()
 
-	report.ChipRecommendations(w, s.PerChip())
-	fmt.Fprintln(w)
-	printTableX(w)
-	fmt.Fprintln(w)
+	e.do(report.ChipRecommendations(w, s.PerChip()))
+	e.ln()
+	e.do(printTableX(w))
+	e.ln()
 
-	report.Heatmap(w, s.Heatmap())
-	fmt.Fprintln(w)
-	report.FlagFrequencies(w, analysis.TopSpeedupOpts(d))
-	fmt.Fprintln(w)
+	e.do(report.Heatmap(w, s.Heatmap()))
+	e.ln()
+	e.do(report.FlagFrequencies(w, analysis.TopSpeedupOpts(d)))
+	e.ln()
 
 	evals, excluded := s.Evaluations()
-	report.StrategyOutcomes(w, evals, excluded)
-	fmt.Fprintln(w)
-	report.StrategySlowdowns(w, evals)
-	fmt.Fprintln(w)
-	printFigure5(w)
-	return nil
+	e.do(report.StrategyOutcomes(w, evals, excluded))
+	e.ln()
+	e.do(report.StrategySlowdowns(w, evals))
+	e.ln()
+	e.do(printFigure5(w))
+	return e.err
 }
 
 func globalConfig(s *study.Study) analysis.ConfigRank {
@@ -558,15 +591,15 @@ func globalConfig(s *study.Study) analysis.ConfigRank {
 	return analysis.ConfigRank{Rank: -1, Config: cfg}
 }
 
-func printTable3(w io.Writer, s *study.Study) {
-	report.ConfigRanks(w, s.Ranks(), globalConfig(s), len(s.Dataset().Tuples()))
+func printTable3(w io.Writer, s *study.Study) error {
+	return report.ConfigRanks(w, s.Ranks(), globalConfig(s), len(s.Dataset().Tuples()))
 }
 
-func printTable4(w io.Writer, s *study.Study) {
+func printTable4(w io.Writer, s *study.Study) error {
 	d := s.Dataset()
 	maxGeo := analysis.MaxGeoMeanConfig(s.Ranks())
 	ours := globalConfig(s)
-	report.ChipCounts(w,
+	return report.ChipCounts(w,
 		maxGeo.Config, analysis.PerChipCounts(d, maxGeo.Config),
 		ours.Config, analysis.PerChipCounts(d, ours.Config))
 }
@@ -574,23 +607,17 @@ func printTable4(w io.Writer, s *study.Study) {
 func printTable(w io.Writer, n int, loader func() (*study.Study, error)) error {
 	switch n {
 	case 1:
-		report.Chips(w, chip.All())
-		return nil
+		return report.Chips(w, chip.All())
 	case 5:
-		report.Strategies(w)
-		return nil
+		return report.Strategies(w)
 	case 6:
-		report.OptSummary(w)
-		return nil
+		return report.OptSummary(w)
 	case 7:
-		report.Apps(w, apps.All())
-		return nil
+		return report.Apps(w, apps.All())
 	case 8:
-		printInputs(w)
-		return nil
+		return printInputs(w)
 	case 10:
-		printTableX(w)
-		return nil
+		return printTableX(w)
 	}
 	s, err := loader()
 	if err != nil {
@@ -598,23 +625,21 @@ func printTable(w io.Writer, n int, loader func() (*study.Study, error)) error {
 	}
 	switch n {
 	case 2:
-		report.Extremes(w, s.Extremes())
+		return report.Extremes(w, s.Extremes())
 	case 3:
-		printTable3(w, s)
+		return printTable3(w, s)
 	case 4:
-		printTable4(w, s)
+		return printTable4(w, s)
 	case 9:
-		report.ChipRecommendations(w, s.PerChip())
+		return report.ChipRecommendations(w, s.PerChip())
 	default:
 		return fmt.Errorf("no table %d (valid: 1-10)", n)
 	}
-	return nil
 }
 
 func printFigure(w io.Writer, n int, loader func() (*study.Study, error)) error {
 	if n == 5 {
-		printFigure5(w)
-		return nil
+		return printFigure5(w)
 	}
 	s, err := loader()
 	if err != nil {
@@ -622,19 +647,18 @@ func printFigure(w io.Writer, n int, loader func() (*study.Study, error)) error 
 	}
 	switch n {
 	case 1:
-		report.Heatmap(w, s.Heatmap())
+		return report.Heatmap(w, s.Heatmap())
 	case 2:
-		report.FlagFrequencies(w, analysis.TopSpeedupOpts(s.Dataset()))
+		return report.FlagFrequencies(w, analysis.TopSpeedupOpts(s.Dataset()))
 	case 3:
 		evals, excluded := s.Evaluations()
-		report.StrategyOutcomes(w, evals, excluded)
+		return report.StrategyOutcomes(w, evals, excluded)
 	case 4:
 		evals, _ := s.Evaluations()
-		report.StrategySlowdowns(w, evals)
+		return report.StrategySlowdowns(w, evals)
 	default:
 		return fmt.Errorf("no figure %d (valid: 1-5)", n)
 	}
-	return nil
 }
 
 func printDecisions(w io.Writer, spec *analysis.Specialisation) {
@@ -647,15 +671,15 @@ func printDecisions(w io.Writer, spec *analysis.Specialisation) {
 	}
 }
 
-func printInputs(w io.Writer) {
+func printInputs(w io.Writer) error {
 	var props []graph.Properties
 	for _, g := range graph.StandardInputs() {
 		props = append(props, graph.Analyze(g))
 	}
-	report.Inputs(w, props)
+	return report.Inputs(w, props)
 }
 
-func printTableX(w io.Writer) {
+func printTableX(w io.Writer) error {
 	sgcmb, mdivg := microbench.TableX(chip.All())
 	t := report.NewTable("Table X: microbenchmark speedups per chip", "Bench", "M4000", "GTX1080", "HD5500", "IRIS", "R9", "MALI").
 		RightAlign(1, 2, 3, 4, 5, 6)
@@ -668,10 +692,10 @@ func printTableX(w io.Writer) {
 	}
 	row("sg-cmb", sgcmb)
 	row("m-divg", mdivg)
-	t.Render(w)
+	return t.Render(w)
 }
 
-func printFigure5(w io.Writer) {
+func printFigure5(w io.Writer) error {
 	sweep := microbench.Figure5Sweep()
 	t := report.NewTable("Figure 5: GPU utilisation vs kernel duration (10000 launches + copies)",
 		"Kernel (us)", "M4000", "GTX1080", "HD5500", "IRIS", "R9", "MALI").
@@ -688,5 +712,5 @@ func printFigure5(w io.Writer) {
 		}
 		t.Row(cells...)
 	}
-	t.Render(w)
+	return t.Render(w)
 }

@@ -68,7 +68,9 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
-	report.Inputs(w, []graph.Properties{graph.Analyze(g)})
+	if err := report.Inputs(w, []graph.Properties{graph.Analyze(g)}); err != nil {
+		return err
+	}
 
 	if *out == "" {
 		return nil

@@ -1,24 +1,16 @@
-// Command lintgate is the repo-local static gate behind `make lint`.
+// Command lintgate is the repo-local style gate behind `make lint`.
 // It needs nothing beyond the standard library, so CI can run it
-// without fetching tools, and it encodes rules specific to this
-// codebase rather than general style:
+// without fetching tools. It keeps only the file-level rules that a
+// type-checked analysis cannot or need not express; the semantic
+// rules (wall-clock confinement, seeded randomness, obs naming,
+// error handling, determinism proofs) live in internal/staticlint
+// and run behind `make staticgate`:
 //
 //   - every .go file must be gofmt-clean;
-//   - time.Now is confined to internal/obs, internal/tracecache,
-//     cmd/, and tests — everything else must be deterministic, since
-//     the measurement model is fully seeded and cached traces are
-//     required to be bit-identical across runs;
-//   - math/rand is forbidden outside internal/stats: all randomness
-//     flows through the seeded stats.RNG so results reproduce;
 //   - the unsafe package is not used at all;
 //   - t.Skip in tests must carry a linked issue reference ("#123" or a
 //     URL) in its message: an unreferenced skip is how a disabled test
-//     quietly becomes a permanently disabled test;
-//   - span, counter, event, histogram, and attribute names passed to
-//     the obs recorder must be declared constants from
-//     internal/obs/names.go, not string literals: ad-hoc names drift
-//     between emitters and break the deterministic-export guarantee
-//     (two spellings of one concept produce two metric families).
+//     quietly becomes a permanently disabled test.
 //
 // Usage: lintgate [root]  (default ".")
 package main
@@ -41,35 +33,6 @@ import (
 // skipRefPattern matches an issue reference ("#123") or a URL inside a
 // skip message; one of them must be present for t.Skip to pass the gate.
 var skipRefPattern = regexp.MustCompile(`#\d+|://`)
-
-// timeNowAllowed lists path prefixes (relative, slash-separated) where
-// reading the wall clock is legitimate: instrumentation, cache
-// freshness, and the CLI entry points.
-var timeNowAllowed = []string{
-	"internal/obs/",
-	"internal/tracecache/",
-	"cmd/",
-}
-
-// obsNameArg maps obs recorder and span-handle method names to the
-// index of their name argument. A string literal at that position is a
-// violation outside internal/obs itself: names must come from the
-// constants in internal/obs/names.go so every emitter agrees on the
-// spelling.
-var obsNameArg = map[string]int{
-	"Start":       0,
-	"StartSpan":   0,
-	"Event":       0,
-	"Add":         0,
-	"ObserveHist": 0,
-	"MergeHist":   0,
-	"NameLane":    2,
-	"SimSpan":     2,
-}
-
-// obsAttrFuncs are the obs package's attribute constructors; their
-// first argument is an attribute name.
-var obsAttrFuncs = map[string]bool{"String": true, "Int": true, "Bool": true}
 
 func main() {
 	root := "."
@@ -140,34 +103,15 @@ func lintFile(path, rel string) ([]string, error) {
 		return nil, err
 	}
 
-	isTest := strings.HasSuffix(rel, "_test.go")
-	timeName := "" // local name of the time package import, if any
-	obsName := ""  // local name of the internal/obs import, if any
 	for _, imp := range file.Imports {
 		ipath, _ := strconv.Unquote(imp.Path.Value)
-		switch ipath {
-		case "time":
-			timeName = "time"
-			if imp.Name != nil {
-				timeName = imp.Name.Name
-			}
-		case "gpuport/internal/obs":
-			obsName = "obs"
-			if imp.Name != nil {
-				obsName = imp.Name.Name
-			}
-		case "math/rand", "math/rand/v2":
-			if !strings.HasPrefix(rel, "internal/stats/") {
-				violations = append(violations, fmt.Sprintf("%s:%d: %s is forbidden outside internal/stats (use the seeded stats.RNG)",
-					rel, fset.Position(imp.Pos()).Line, ipath))
-			}
-		case "unsafe":
+		if ipath == "unsafe" {
 			violations = append(violations, fmt.Sprintf("%s:%d: unsafe is not used in this codebase",
 				rel, fset.Position(imp.Pos()).Line))
 		}
 	}
 
-	if isTest {
+	if strings.HasSuffix(rel, "_test.go") {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -195,55 +139,6 @@ func lintFile(path, rel string) ([]string, error) {
 			return true
 		})
 	}
-
-	if timeName != "" && timeName != "_" && !isTest && !pathAllowed(rel, timeNowAllowed) {
-		ast.Inspect(file, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			id, ok := sel.X.(*ast.Ident)
-			if ok && id.Name == timeName && id.Obj == nil && (sel.Sel.Name == "Now" || sel.Sel.Name == "Since") {
-				violations = append(violations, fmt.Sprintf("%s:%d: time.%s outside the instrumentation layers (keep the model deterministic; see internal/obs)",
-					rel, fset.Position(sel.Pos()).Line, sel.Sel.Name))
-			}
-			return true
-		})
-	}
-	// The obs-names rule fires only in files that import internal/obs
-	// (a recorder or span handle cannot be used without it), and never
-	// inside internal/obs itself or tests, which legitimately mint
-	// throwaway names.
-	if obsName != "" && obsName != "_" && !isTest && !strings.HasPrefix(rel, "internal/obs/") {
-		ast.Inspect(file, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			idx := -1
-			if id, ok := sel.X.(*ast.Ident); ok && id.Name == obsName && id.Obj == nil {
-				// Package-qualified call: attribute constructors.
-				if obsAttrFuncs[sel.Sel.Name] {
-					idx = 0
-				}
-			} else if i, ok := obsNameArg[sel.Sel.Name]; ok {
-				// Method call on a recorder or span handle.
-				idx = i
-			}
-			if idx < 0 || idx >= len(call.Args) {
-				return true
-			}
-			if lit, ok := call.Args[idx].(*ast.BasicLit); ok && lit.Kind == token.STRING {
-				violations = append(violations, fmt.Sprintf("%s:%d: string literal passed as an obs name to %s (declare it in internal/obs/names.go and use the constant)",
-					rel, fset.Position(lit.Pos()).Line, sel.Sel.Name))
-			}
-			return true
-		})
-	}
 	return violations, nil
 }
 
@@ -263,13 +158,4 @@ func skipCallHasReference(call *ast.CallExpr) bool {
 		})
 	}
 	return found
-}
-
-func pathAllowed(rel string, prefixes []string) bool {
-	for _, p := range prefixes {
-		if strings.HasPrefix(rel, p) {
-			return true
-		}
-	}
-	return false
 }

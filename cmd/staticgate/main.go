@@ -1,0 +1,120 @@
+// Command staticgate runs the internal/staticlint whole-program
+// analysis engine over the module and gates on its findings.
+//
+// Usage: staticgate [flags] [root]   (root defaults to ".")
+//
+//	-list             print the analyzers and exit
+//	-only a,b,c       run only the named analyzers
+//	-json             write the report as byte-stable JSON to stdout
+//	-baseline FILE    committed debt ledger (default .staticgate-baseline.json
+//	                  under the root); findings in it pass, findings not in
+//	                  it fail, entries that no longer fire fail (the ledger
+//	                  may only shrink)
+//	-baseline-budget N  fail if the ledger holds more than N entries; CI
+//	                  pins this to 0 so the ledger cannot quietly grow
+//
+// Exit status: 0 clean, 1 findings or baseline drift, 2 usage or load
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gpuport/internal/staticlint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("staticgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list     = fs.Bool("list", false, "list analyzers and exit")
+		only     = fs.String("only", "", "comma-separated analyzer names to run (default all)")
+		jsonOut  = fs.Bool("json", false, "write the report as byte-stable JSON to stdout")
+		baseline = fs.String("baseline", "", "baseline file (default <root>/.staticgate-baseline.json)")
+		budget   = fs.Int("baseline-budget", -1, "fail if the baseline holds more than this many entries (-1 disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := staticlint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		names := strings.Split(*only, ",")
+		known := map[string]bool{}
+		for _, a := range analyzers {
+			known[a.Name] = true
+		}
+		for _, n := range names {
+			if !known[n] {
+				fmt.Fprintf(stderr, "staticgate: unknown analyzer %q (see -list)\n", n)
+				return 2
+			}
+		}
+		analyzers = staticlint.AnalyzersByName(names)
+	}
+
+	root := "."
+	if fs.NArg() > 0 {
+		root = fs.Arg(0)
+	}
+	blPath := *baseline
+	if blPath == "" {
+		blPath = filepath.Join(root, ".staticgate-baseline.json")
+	}
+	bl, err := staticlint.ReadBaseline(blPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "staticgate:", err)
+		return 2
+	}
+	if *budget >= 0 && len(bl.Entries) > *budget {
+		fmt.Fprintf(stderr, "staticgate: baseline holds %d entries, budget is %d (the ledger may only shrink)\n",
+			len(bl.Entries), *budget)
+		return 1
+	}
+
+	prog, err := staticlint.Load(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "staticgate:", err)
+		return 2
+	}
+	result := staticlint.Run(prog, staticlint.DefaultConfig(), analyzers)
+	fresh, stale := bl.Apply(result)
+
+	if *jsonOut {
+		raw, err := staticlint.EncodeJSON(result)
+		if err != nil {
+			fmt.Fprintln(stderr, "staticgate:", err)
+			return 2
+		}
+		if _, err := stdout.Write(raw); err != nil {
+			fmt.Fprintln(stderr, "staticgate:", err)
+			return 2
+		}
+	} else {
+		fmt.Fprint(stdout, staticlint.RenderText(result))
+	}
+
+	for _, e := range stale {
+		fmt.Fprintf(stderr, "staticgate: stale baseline entry no longer fires (delete it): %s: %s: %s\n", e.File, e.Rule, e.Message)
+	}
+	if len(fresh) > 0 || len(stale) > 0 {
+		fmt.Fprintf(stderr, "staticgate: %d new finding(s), %d stale baseline entr(ies)\n", len(fresh), len(stale))
+		return 1
+	}
+	return 0
+}

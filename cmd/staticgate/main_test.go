@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixtureRoot = "../../internal/staticlint/testdata/src/fixture"
+
+// writeBaseline drops a baseline JSON into a temp dir and returns its
+// path, so fixture runs never touch a committed ledger.
+func writeBaseline(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// The fixture's errcheck-only findings, as baseline entries. The bare
+// //lint:allow pragma at errs.go:32 is scanned on every run, so any
+// passing fixture baseline must carry its "lint" finding too.
+const fixtureErrcheckBaseline = `{"entries":[
+  {"rule":"errcheck","file":"internal/errs/errs.go","message":"error result silently dropped (assign it and handle or propagate it)"},
+  {"rule":"errcheck","file":"internal/errs/errs.go","message":"error result silently dropped (assign it and handle or propagate it)"},
+  {"rule":"lint","file":"internal/errs/errs.go","message":"//lint:allow needs a rule name and a reason (//lint:allow <rule> <why>)"}
+]}`
+
+func TestList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 9 {
+		t.Fatalf("-list printed %d analyzers, want 9:\n%s", len(lines), out.String())
+	}
+	for _, name := range []string{"ctxprop", "detpure", "errcheck", "floatcmp", "globalrand", "maprange", "mutexlock", "obsnames", "walltime"} {
+		if !strings.Contains(out.String(), name+" ") {
+			t.Errorf("-list missing analyzer %s", name)
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-only", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), `unknown analyzer "nope"`) {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestLoadFailure(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{t.TempDir()}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "go.mod") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+func TestBadBaselineFile(t *testing.T) {
+	bl := writeBaseline(t, "{nope")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-baseline", bl, fixtureRoot}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2; stderr %s", code, errb.String())
+	}
+}
+
+// TestRepoClean is the gate's reason to exist: the repository itself
+// analyses clean against its committed (empty) baseline.
+func TestRepoClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"../.."}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.HasSuffix(out.String(), "staticgate: 0 finding(s), 2 suppressed\n") {
+		t.Errorf("summary line drifted:\n%s", out.String())
+	}
+}
+
+func TestFixtureFindingsFail(t *testing.T) {
+	bl := writeBaseline(t, `{"entries":[]}`)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-only", "errcheck", "-baseline", bl, fixtureRoot}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "3 new finding(s), 0 stale baseline entr(ies)") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+func TestBaselineAbsorbsFindings(t *testing.T) {
+	bl := writeBaseline(t, fixtureErrcheckBaseline)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-only", "errcheck", "-baseline", bl, fixtureRoot}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, want 0; stderr %s", code, errb.String())
+	}
+}
+
+func TestStaleBaselineEntryFails(t *testing.T) {
+	stale := strings.Replace(fixtureErrcheckBaseline, "]}",
+		`,{"rule":"errcheck","file":"internal/errs/gone.go","message":"paid off"}]}`, 1)
+	bl := writeBaseline(t, stale)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-only", "errcheck", "-baseline", bl, fixtureRoot}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "stale baseline entry no longer fires (delete it): internal/errs/gone.go") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+func TestBaselineBudget(t *testing.T) {
+	bl := writeBaseline(t, fixtureErrcheckBaseline)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-only", "errcheck", "-baseline", bl, "-baseline-budget", "0", fixtureRoot}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "baseline holds 3 entries, budget is 0") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+// TestJSONStable: two -json runs over the same tree are byte-identical.
+func TestJSONStable(t *testing.T) {
+	bl := writeBaseline(t, `{"entries":[]}`)
+	args := []string{"-only", "errcheck", "-json", "-baseline", bl, fixtureRoot}
+	var out1, out2, errb bytes.Buffer
+	if code := run(args, &out1, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 (findings present); stderr %s", code, errb.String())
+	}
+	if code := run(args, &out2, &errb); code != 1 {
+		t.Fatalf("second run exit %d", code)
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Error("-json output is not byte-stable across runs")
+	}
+	if !strings.HasPrefix(out1.String(), "{\n  \"version\": 1,") {
+		t.Errorf("JSON must lead with its version, got %.40q", out1.String())
+	}
+}

@@ -59,19 +59,19 @@ func openCheckpoint(path string, runs, every int) (*checkpoint, *dataset.Dataset
 			header = append(header, fmt.Sprintf("run%d", i+1))
 		}
 		if err := ck.cw.Write(header); err != nil {
-			f.Close()
+			_ = f.Close() // best-effort: the write error is the one worth reporting
 			return nil, nil, fmt.Errorf("measure: checkpoint: %w", err)
 		}
 		ck.cw.Flush()
 	} else if raw[len(raw)-1] != '\n' {
 		// Heal a truncated final line so our appends start clean.
 		if _, err := f.Write([]byte("\n")); err != nil {
-			f.Close()
+			_ = f.Close() // best-effort: the write error is the one worth reporting
 			return nil, nil, fmt.Errorf("measure: checkpoint: %w", err)
 		}
 	}
 	if err := ck.cw.Error(); err != nil {
-		f.Close()
+		_ = f.Close() // best-effort: the Flush error is the one worth reporting
 		return nil, nil, fmt.Errorf("measure: checkpoint: %w", err)
 	}
 	return ck, resumed, nil

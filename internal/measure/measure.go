@@ -95,6 +95,7 @@ func (o *Options) fill() {
 		o.Inputs = graph.StandardInputs()
 	}
 	if o.Ctx == nil {
+		//lint:allow ctxprop Options.fill is the documented default for callers that pass no context
 		o.Ctx = context.Background()
 	}
 	if o.CheckpointEvery <= 0 {

@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+)
+
+type deadWriter struct{}
+
+var errDead = errors.New("dead writer")
+
+func (deadWriter) Write(p []byte) (int, error) { return 0, errDead }
+
+// TestFormatPropagatesWriteError: Format reports the writer's failure
+// instead of silently dropping the rest of the summary.
+func TestFormatPropagatesWriteError(t *testing.T) {
+	s := &Summary{
+		Stages:   []Stage{{Name: "load", Calls: 1}},
+		Counters: []Counter{{Name: "cache.hits", Value: 3}},
+	}
+	if err := s.Format(deadWriter{}); !errors.Is(err, errDead) {
+		t.Errorf("stage write: got %v, want errDead", err)
+	}
+	if err := (&Summary{Counters: []Counter{{Name: "c", Value: 1}}}).Format(deadWriter{}); !errors.Is(err, errDead) {
+		t.Errorf("counter write: got %v, want errDead", err)
+	}
+	var nilSummary *Summary
+	if err := nilSummary.Format(deadWriter{}); err != nil {
+		t.Errorf("nil summary: got %v, want nil (nothing to write)", err)
+	}
+}

@@ -65,17 +65,23 @@ func (s *Summary) StageDuration(name string) time.Duration {
 }
 
 // Format writes the summary as "stage trace 1.2s | stage sweep 3.4s |
-// hits 51" lines, one item per line, for -v logging.
-func (s *Summary) Format(w io.Writer) {
+// hits 51" lines, one item per line, for -v logging. The first write
+// error is returned.
+func (s *Summary) Format(w io.Writer) error {
 	if s == nil {
-		return
+		return nil
 	}
 	for _, st := range s.Stages {
-		fmt.Fprintf(w, "pipeline: stage %-10s %12s  (%d sections)\n", st.Name, st.Duration.Round(time.Microsecond), st.Calls)
+		if _, err := fmt.Fprintf(w, "pipeline: stage %-10s %12s  (%d sections)\n", st.Name, st.Duration.Round(time.Microsecond), st.Calls); err != nil {
+			return err
+		}
 	}
 	for _, c := range s.Counters {
-		fmt.Fprintf(w, "pipeline: %-16s %8d\n", c.Name, c.Value)
+		if _, err := fmt.Fprintf(w, "pipeline: %-16s %8d\n", c.Name, c.Value); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Recorder accumulates stages and counters - and, when tracing is

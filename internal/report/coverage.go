@@ -1,7 +1,6 @@
 package report
 
 import (
-	"fmt"
 	"io"
 
 	"gpuport/internal/dataset"
@@ -13,21 +12,22 @@ import (
 // intended sweep was measured and, for a partial dataset, exactly what
 // is missing and why. Every analysis printed next to this block is to
 // be read as "over the covered cells". A nil report renders nothing.
-func Coverage(w io.Writer, rep *measure.Report) {
+func Coverage(w io.Writer, rep *measure.Report) error {
 	if rep == nil {
-		return
+		return nil
 	}
-	fmt.Fprintf(w, "coverage: %d/%d cells measured (%.1f%%)",
+	p := &printer{w: w}
+	p.f("coverage: %d/%d cells measured (%.1f%%)",
 		rep.Measured, rep.Cells, rep.Coverage()*100)
 	if rep.Resumed > 0 {
-		fmt.Fprintf(w, ", %d resumed from checkpoint", rep.Resumed)
+		p.f(", %d resumed from checkpoint", rep.Resumed)
 	}
-	fmt.Fprintln(w)
+	p.ln()
 	if rep.CheckpointError != "" {
-		fmt.Fprintf(w, "warning: checkpointing failed (%s); this run is not resumable\n", rep.CheckpointError)
+		p.f("warning: checkpointing failed (%s); this run is not resumable\n", rep.CheckpointError)
 	}
 	if rep.Complete() {
-		return
+		return p.err
 	}
 	t := NewTable("Missing cells by failure kind", "Failure", "Cells", "Share").
 		RightAlign(1, 2)
@@ -36,37 +36,39 @@ func Coverage(w io.Writer, rep *measure.Report) {
 		n := rep.FailuresByKind[k]
 		t.Row(k.String(), n, F(float64(n)/float64(missing)*100, 1)+"%")
 	}
-	t.Render(w)
+	p.table(t)
 	if rep.DropoutChip != "" {
-		fmt.Fprintf(w, "chip %s dropped out at cell %d; all its later cells are missing\n",
+		p.f("chip %s dropped out at cell %d; all its later cells are missing\n",
 			rep.DropoutChip, rep.DropoutFrom)
 	}
+	return p.err
 }
 
 // FaultSummary renders the fault-injection campaign: the profile the
 // sweep ran under and what the self-healing machinery absorbed. A
 // report without fault injection renders nothing.
-func FaultSummary(w io.Writer, rep *measure.Report) {
+func FaultSummary(w io.Writer, rep *measure.Report) error {
 	if rep == nil || rep.Profile == nil {
-		return
+		return nil
 	}
-	p := rep.Profile
-	fmt.Fprintf(w, "fault profile: %s\n", p.String())
+	p := &printer{w: w}
+	p.f("fault profile: %s\n", rep.Profile.String())
 	t := NewTable("Fault-injection campaign", "Event", "Count").RightAlign(1)
 	t.Row("launch attempts", rep.Attempts)
 	t.Row("cells healed by retry", rep.Retried)
 	t.Row("samples quarantined", rep.Quarantined)
 	t.Row("cells lost", len(rep.Failures))
-	t.Render(w)
+	p.table(t)
 	if rep.WaitNS > 0 {
-		fmt.Fprintf(w, "virtual time on backoffs and deadlines: %.2f ms\n", rep.WaitNS/1e6)
+		p.f("virtual time on backoffs and deadlines: %.2f ms\n", rep.WaitNS/1e6)
 	}
+	return p.err
 }
 
 // PartialTuples lists the tuples whose configuration grids have holes,
 // with per-tuple coverage - the per-tuple view of a degraded dataset.
 // Fully covered datasets render nothing.
-func PartialTuples(w io.Writer, d *dataset.Dataset) {
+func PartialTuples(w io.Writer, d *dataset.Dataset) error {
 	var t *Table
 	for _, tp := range d.Tuples() {
 		c := d.TupleCoverage(tp)
@@ -80,6 +82,7 @@ func PartialTuples(w io.Writer, d *dataset.Dataset) {
 		t.Row(tp.String(), F(c*100, 1)+"%", Bar(c, 20))
 	}
 	if t != nil {
-		t.Render(w)
+		return t.Render(w)
 	}
+	return nil
 }

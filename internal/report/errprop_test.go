@@ -1,0 +1,81 @@
+package report
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"gpuport/internal/chip"
+)
+
+// failAfter is a writer that accepts the first n writes, then fails:
+// it proves render errors surface no matter how deep in the table the
+// broken pipe appears.
+type failAfter struct {
+	n int
+}
+
+var errPipe = errors.New("broken pipe")
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errPipe
+	}
+	w.n--
+	return len(p), nil
+}
+
+// TestRenderPropagatesWriteError sweeps the failure point across every
+// write a table makes, in both text and markdown form.
+func TestRenderPropagatesWriteError(t *testing.T) {
+	build := func() *Table {
+		return NewTable("T", "A", "B").RightAlign(1).Row("x", 1).Separator().Row("y", 2)
+	}
+	var ok bytes.Buffer
+	if err := build().Render(&ok); err != nil {
+		t.Fatalf("healthy writer errored: %v", err)
+	}
+	writes := ok.Len() // upper bound on write calls: at most one per byte
+
+	for _, mode := range []struct {
+		name   string
+		render func(*Table, *failAfter) error
+	}{
+		{"text", func(tb *Table, w *failAfter) error { return tb.Render(w) }},
+		{"markdown", func(tb *Table, w *failAfter) error { return tb.RenderMarkdown(w) }},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			for n := 0; n < writes; n++ {
+				if err := mode.render(build(), &failAfter{n: n}); !errors.Is(err, errPipe) {
+					// Past the real number of write calls the render
+					// succeeds; that is the loop's natural end.
+					if err == nil {
+						return
+					}
+					t.Fatalf("fail at write %d: got %v, want errPipe", n, err)
+				}
+			}
+		})
+	}
+}
+
+// TestRenderersPropagateWriteError covers the free-function renderers
+// that wrap tables with surrounding prose.
+func TestRenderersPropagateWriteError(t *testing.T) {
+	chips := []chip.Chip{{Name: "sim-a"}}
+	cases := map[string]func(*failAfter) error{
+		"Chips":      func(w *failAfter) error { return Chips(w, chips) },
+		"Strategies": func(w *failAfter) error { return Strategies(w) },
+		"OptSummary": func(w *failAfter) error { return OptSummary(w) },
+	}
+	for name, render := range cases {
+		t.Run(name, func(t *testing.T) {
+			if err := render(&failAfter{n: 0}); !errors.Is(err, errPipe) {
+				t.Errorf("%s on a dead writer returned %v, want errPipe", name, err)
+			}
+			if err := render(&failAfter{n: 1 << 20}); err != nil {
+				t.Errorf("%s on a healthy writer returned %v", name, err)
+			}
+		})
+	}
+}

@@ -9,7 +9,7 @@ import (
 
 // SamplingCurve renders the Section IX subsampling experiment: how much
 // of the full-data recommendation survives at each sampling rate.
-func SamplingCurve(w io.Writer, dims analysis.Dims, pts []analysis.SamplingPoint) {
+func SamplingCurve(w io.Writer, dims analysis.Dims, pts []analysis.SamplingPoint) error {
 	t := NewTable(
 		fmt.Sprintf("Sampling sufficiency for the %s specialisation", dims.Name()),
 		"Sample", "Trials", "Mean agree", "Min agree", "Undecided", "bar").
@@ -24,11 +24,11 @@ func SamplingCurve(w io.Writer, dims analysis.Dims, pts []analysis.SamplingPoint
 			Bar(p.MeanAgreement, 30),
 		)
 	}
-	t.Render(w)
+	return t.Render(w)
 }
 
 // CrossValidation renders the leave-one-out prediction experiment.
-func CrossValidation(w io.Writer, dim string, results []analysis.LOOResult) {
+func CrossValidation(w io.Writer, dim string, results []analysis.LOOResult) error {
 	t := NewTable(
 		fmt.Sprintf("Leave-one-%s-out prediction (strategy never saw the held-out %s)", dim, dim),
 		"Held out", "Tests", "Speedups", "Slowdowns", "vs oracle", "vs baseline").
@@ -38,5 +38,5 @@ func CrossValidation(w io.Writer, dim string, results []analysis.LOOResult) {
 			F(r.Eval.GeoMeanSlowdownVsOracle, 2)+"x",
 			F(r.Eval.GeoMeanVsBaseline, 2)+"x")
 	}
-	t.Render(w)
+	return t.Render(w)
 }

@@ -12,16 +12,16 @@ import (
 // can invoke it unconditionally. Only counters appear here - they are
 // deterministic for a given cache state - while wall-clock stage
 // timings go to the verbose log (obs.Summary.Format).
-func TraceCacheSummary(w io.Writer, rep *measure.Report) {
+func TraceCacheSummary(w io.Writer, rep *measure.Report) error {
 	if rep == nil || rep.Pipeline == nil {
-		return
+		return nil
 	}
 	hits, misses := rep.TraceCacheHits(), rep.TraceCacheMisses()
 	putErrs := rep.Pipeline.Counter(obs.CtrCachePutErrors)
 	mismatches := rep.Pipeline.Counter(obs.CtrCacheMismatches)
 	evicted, healed := rep.TraceCacheEvictions(), rep.TraceCacheHealed()
 	if hits+misses+putErrs+mismatches+evicted+healed == 0 {
-		return
+		return nil
 	}
 	t := NewTable("Trace cache", "Metric", "Value").RightAlign(1)
 	t.Row("hits (execution skipped)", hits)
@@ -41,5 +41,5 @@ func TraceCacheSummary(w io.Writer, rep *measure.Report) {
 	if healed > 0 {
 		t.Row("damaged entries healed", healed)
 	}
-	t.Render(w)
+	return t.Render(w)
 }

@@ -13,17 +13,17 @@ import (
 )
 
 // Chips renders Table I: the GPUs of the study.
-func Chips(w io.Writer, chips []chip.Chip) {
+func Chips(w io.Writer, chips []chip.Chip) error {
 	t := NewTable("Table I: GPUs of the study", "Vendor", "Chip", "Arch", "OS", "#CUs", "SG size", "Short name").
 		RightAlign(4, 5)
 	for _, c := range chips {
 		t.Row(c.Vendor, c.Name, c.Arch, c.OS, c.CUs, c.SubgroupSize, c.Name)
 	}
-	t.Render(w)
+	return t.Render(w)
 }
 
 // Extremes renders Table II: top speedups and slowdowns per chip.
-func Extremes(w io.Writer, ex []analysis.Extreme) {
+func Extremes(w io.Writer, ex []analysis.Extreme) error {
 	t := NewTable("Table II: extreme optimisation effects per chip",
 		"Chip", "Max speedup", "App", "Input", "Max slowdown", "App", "Input").
 		RightAlign(1, 4)
@@ -32,13 +32,13 @@ func Extremes(w io.Writer, ex []analysis.Extreme) {
 			F(e.MaxSpeedup, 2)+"x", e.SpeedupApp, e.SpeedupInput,
 			F(e.MaxSlowdown, 2)+"x", e.SlowdownApp, e.SlowdownInput)
 	}
-	t.Render(w)
+	return t.Render(w)
 }
 
 // ConfigRanks renders Table III: the global configuration ranking. It
 // shows the top, two middle rows (including the max-geomean pick), and
 // the bottom, like the paper.
-func ConfigRanks(w io.Writer, ranks []analysis.ConfigRank, chosen analysis.ConfigRank, tests int) {
+func ConfigRanks(w io.Writer, ranks []analysis.ConfigRank, chosen analysis.ConfigRank, tests int) error {
 	t := NewTable(
 		fmt.Sprintf("Table III: optimisation combinations ranked by slowdowns (out of %d tests)", tests),
 		"Rank", "Enabled opts", "Slowdowns", "Speedups", "Geomean").
@@ -73,28 +73,30 @@ func ConfigRanks(w io.Writer, ranks []analysis.ConfigRank, chosen analysis.Confi
 		}
 		t.Row(r.Rank, r.Config.String()+mark, r.Slowdowns, r.Speedups, F(r.GeoMean, 2))
 	}
-	t.Render(w)
+	return t.Render(w)
 }
 
 // ChipCounts renders Table IV: per-chip outcome counts for the two
 // contrasted configurations.
-func ChipCounts(w io.Writer, maxGeo opt.Config, a []analysis.ChipCounts, ours opt.Config, b []analysis.ChipCounts) {
+func ChipCounts(w io.Writer, maxGeo opt.Config, a []analysis.ChipCounts, ours opt.Config, b []analysis.ChipCounts) error {
 	t := NewTable("Table IV: per-chip bias of policy choices",
 		"Chip",
 		"speedups", "slowdowns", "max",
 		"| speedups", "slowdowns", "max").
 		RightAlign(1, 2, 3, 4, 5, 6)
-	fmt.Fprintf(w, "left: max-geomean pick [%s]   right: rank-based pick [%s]\n", maxGeo, ours)
+	if _, err := fmt.Fprintf(w, "left: max-geomean pick [%s]   right: rank-based pick [%s]\n", maxGeo, ours); err != nil {
+		return err
+	}
 	for i := range a {
 		t.Row(a[i].Chip,
 			a[i].Speedups, a[i].Slowdowns, F(a[i].MaxSpeedup, 2)+"x",
 			fmt.Sprintf("| %d", b[i].Speedups), b[i].Slowdowns, F(b[i].MaxSpeedup, 2)+"x")
 	}
-	t.Render(w)
+	return t.Render(w)
 }
 
 // Strategies renders Table V: the strategy functions by specialisation.
-func Strategies(w io.Writer) {
+func Strategies(w io.Writer) error {
 	t := NewTable("Table V: optimisation strategies (Table V)", "Strategy", "Specialises on", "Definition")
 	t.Row("baseline", "-", "all optimisations disabled")
 	t.Row("global", "-", "flags passing the MWU test over the whole dataset")
@@ -105,12 +107,12 @@ func Strategies(w io.Writer) {
 		t.Row(d.Name(), d.Name(), "flags passing the MWU test per "+d.Name()+" partition")
 	}
 	t.Row("oracle", "chip, app, input", "empirically best configuration per test")
-	t.Render(w)
+	return t.Render(w)
 }
 
 // OptSummary renders Table VI: optimisations and the performance
 // parameters that govern them.
-func OptSummary(w io.Writer) {
+func OptSummary(w io.Writer) error {
 	t := NewTable("Table VI: optimisations and their performance parameters", "Optimisation", "Performance parameters")
 	t.Row("coop-cv", "workgroup/subgroup size, atomic RMW throughput, subgroup collectives")
 	t.Row("fg (1|8)", "local memory, workgroup barriers, scheduling overhead, coalescing")
@@ -118,11 +120,11 @@ func OptSummary(w io.Writer) {
 	t.Row("wg", "workgroup size, local memory, workgroup-barrier throughput")
 	t.Row("oitergb", "kernel launch + copy overhead, global synchronisation, occupancy")
 	t.Row("sz256", "occupancy, workgroup-local resource limits")
-	t.Render(w)
+	return t.Render(w)
 }
 
 // Apps renders Table VII: the applications.
-func Apps(w io.Writer, as []apps.App) {
+func Apps(w io.Writer, as []apps.App) error {
 	t := NewTable("Table VII: graph applications", "Problem", "Application", "Variant", "Fastest")
 	for _, a := range as {
 		mark := ""
@@ -131,24 +133,24 @@ func Apps(w io.Writer, as []apps.App) {
 		}
 		t.Row(a.Problem, a.Name, a.Variant, mark)
 	}
-	t.Render(w)
+	return t.Render(w)
 }
 
 // Inputs renders Table VIII: the inputs with their structural
 // properties.
-func Inputs(w io.Writer, props []graph.Properties) {
+func Inputs(w io.Writer, props []graph.Properties) error {
 	t := NewTable("Table VIII: graph inputs",
 		"Input", "Class", "Nodes", "Edges", "Mean deg", "Max deg", "Deg CV", "~Diameter").
 		RightAlign(2, 3, 4, 5, 6, 7)
 	for _, p := range props {
 		t.Row(p.Name, p.Class, p.Nodes, p.Edges, F(p.MeanDegree, 1), p.MaxDegree, F(p.DegreeCV, 2), p.ApproxDiam)
 	}
-	t.Render(w)
+	return t.Render(w)
 }
 
 // ChipRecommendations renders Table IX: the per-chip flag decisions
 // with common-language effect sizes.
-func ChipRecommendations(w io.Writer, spec *analysis.Specialisation) {
+func ChipRecommendations(w io.Writer, spec *analysis.Specialisation) error {
 	flags := opt.Flags()
 	header := []string{"Chip"}
 	for _, f := range flags {
@@ -169,13 +171,15 @@ func ChipRecommendations(w io.Writer, spec *analysis.Specialisation) {
 		}
 		t.Row(row...)
 	}
-	fmt.Fprintln(w, "Y = enable, x = do not enable, ? = not enough significant samples (p >= .05)")
-	t.Render(w)
+	if _, err := fmt.Fprintln(w, "Y = enable, x = do not enable, ? = not enough significant samples (p >= .05)"); err != nil {
+		return err
+	}
+	return t.Render(w)
 }
 
 // Heatmap renders Figure 1: cross-chip portability of chip-optimal
 // configurations.
-func Heatmap(w io.Writer, h *analysis.Heatmap) {
+func Heatmap(w io.Writer, h *analysis.Heatmap) error {
 	header := []string{"run on \\ opts for"}
 	header = append(header, h.Cols...)
 	header = append(header, "| row geomean")
@@ -202,12 +206,12 @@ func Heatmap(w io.Writer, h *analysis.Heatmap) {
 	}
 	off = append(off, "|")
 	t.Row(off...)
-	t.Render(w)
+	return t.Render(w)
 }
 
 // FlagFrequencies renders Figure 2: optimisations required for top
 // speedups, per chip.
-func FlagFrequencies(w io.Writer, ffs []analysis.FlagFrequency) {
+func FlagFrequencies(w io.Writer, ffs []analysis.FlagFrequency) error {
 	flags := opt.Flags()
 	header := []string{"Chip", "tests"}
 	for _, f := range flags {
@@ -222,12 +226,12 @@ func FlagFrequencies(w io.Writer, ffs []analysis.FlagFrequency) {
 		}
 		t.Row(row...)
 	}
-	t.Render(w)
+	return t.Render(w)
 }
 
 // StrategyOutcomes renders Figure 3: percentage of tests with
 // speedups / no change / slowdowns per strategy.
-func StrategyOutcomes(w io.Writer, evals []analysis.StrategyEval, excluded int) {
+func StrategyOutcomes(w io.Writer, evals []analysis.StrategyEval, excluded int) error {
 	t := NewTable(
 		fmt.Sprintf("Figure 3: outcomes per strategy (%d non-improvable tests excluded)", excluded),
 		"Strategy", "Speedups", "NoChange", "Slowdowns", "%speedup", "bar").
@@ -240,29 +244,31 @@ func StrategyOutcomes(w io.Writer, evals []analysis.StrategyEval, excluded int) 
 		}
 		t.Row(e.Name, e.Speedups, e.NoChanges, e.Slowdowns, F(frac*100, 0)+"%", Bar(frac, 30))
 	}
-	t.Render(w)
+	return t.Render(w)
 }
 
 // StrategySlowdowns renders Figure 4: geomean slowdown versus the
 // oracle per strategy.
-func StrategySlowdowns(w io.Writer, evals []analysis.StrategyEval) {
+func StrategySlowdowns(w io.Writer, evals []analysis.StrategyEval) error {
 	t := NewTable("Figure 4: geomean slowdown vs oracle per strategy",
 		"Strategy", "vs oracle", "vs baseline", "max speedup").
 		RightAlign(1, 2, 3)
 	for _, e := range evals {
 		t.Row(e.Name, F(e.GeoMeanSlowdownVsOracle, 2)+"x", F(e.GeoMeanVsBaseline, 2)+"x", F(e.MaxSpeedup, 2)+"x")
 	}
-	t.Render(w)
+	return t.Render(w)
 }
 
 // TuplesSummary prints a one-line dataset summary. A dataset with holes
 // in its own grid additionally states its coverage, so no analysis is
 // ever presented as if it were complete.
-func TuplesSummary(w io.Writer, d *dataset.Dataset) {
-	fmt.Fprintf(w, "dataset: %d chips x %d apps x %d inputs = %d tuples, %d records",
+func TuplesSummary(w io.Writer, d *dataset.Dataset) error {
+	p := &printer{w: w}
+	p.f("dataset: %d chips x %d apps x %d inputs = %d tuples, %d records",
 		len(d.Chips()), len(d.Apps()), len(d.Inputs()), len(d.Tuples()), d.Len())
 	if cov := d.Coverage(); cov < 1 {
-		fmt.Fprintf(w, " (partial: %.1f%% of the grid covered)", cov*100)
+		p.f(" (partial: %.1f%% of the grid covered)", cov*100)
 	}
-	fmt.Fprintln(w)
+	p.ln()
+	return p.err
 }

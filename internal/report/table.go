@@ -10,6 +10,33 @@ import (
 	"strings"
 )
 
+// printer chains writes to an io.Writer and latches the first error,
+// so renderers can write a whole block unconditionally and surface
+// one failure at the end instead of threading an error through every
+// line.
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) f(format string, args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, args...)
+	}
+}
+
+func (p *printer) ln(args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintln(p.w, args...)
+	}
+}
+
+func (p *printer) table(t *Table) {
+	if p.err == nil {
+		p.err = t.Render(p.w)
+	}
+}
+
 // Table accumulates rows and renders them with aligned columns.
 type Table struct {
 	Title  string
@@ -55,20 +82,23 @@ func (t *Table) Separator() *Table {
 var Markdown bool
 
 // Render writes the table: aligned text by default, a markdown pipe
-// table when the package-level Markdown toggle is set.
-func (t *Table) Render(w io.Writer) {
+// table when the package-level Markdown toggle is set. The first write
+// error is returned.
+func (t *Table) Render(w io.Writer) error {
 	if Markdown {
-		t.RenderMarkdown(w)
-		return
+		return t.RenderMarkdown(w)
 	}
-	t.renderText(w)
+	p := &printer{w: w}
+	t.renderText(p)
+	return p.err
 }
 
 // RenderMarkdown writes the table as a GitHub-flavoured pipe table.
 // Separator rows become em-dash rows (markdown has no mid-table rule).
-func (t *Table) RenderMarkdown(w io.Writer) {
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	p := &printer{w: w}
 	if t.Title != "" {
-		fmt.Fprintf(w, "**%s**\n\n", t.Title)
+		p.f("**%s**\n\n", t.Title)
 	}
 	writeRow := func(cells []string) {
 		var b strings.Builder
@@ -82,7 +112,7 @@ func (t *Table) RenderMarkdown(w io.Writer) {
 			b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
 			b.WriteString(" |")
 		}
-		fmt.Fprintln(w, b.String())
+		p.ln(b.String())
 	}
 	writeRow(t.header)
 	var rule strings.Builder
@@ -94,7 +124,7 @@ func (t *Table) RenderMarkdown(w io.Writer) {
 			rule.WriteString("---|")
 		}
 	}
-	fmt.Fprintln(w, rule.String())
+	p.ln(rule.String())
 	for _, row := range t.rows {
 		if row == nil {
 			sep := make([]string, len(t.header))
@@ -106,10 +136,11 @@ func (t *Table) RenderMarkdown(w io.Writer) {
 		}
 		writeRow(row)
 	}
-	fmt.Fprintln(w)
+	p.ln()
+	return p.err
 }
 
-func (t *Table) renderText(w io.Writer) {
+func (t *Table) renderText(p *printer) {
 	widths := make([]int, len(t.header))
 	for i, h := range t.header {
 		widths[i] = len(h)
@@ -126,23 +157,23 @@ func (t *Table) renderText(w io.Writer) {
 		total += wd + 2
 	}
 	if t.Title != "" {
-		fmt.Fprintf(w, "%s\n", t.Title)
+		p.f("%s\n", t.Title)
 	}
 	line := strings.Repeat("-", total)
-	fmt.Fprintln(w, line)
-	t.renderRow(w, t.header, widths)
-	fmt.Fprintln(w, line)
+	p.ln(line)
+	t.renderRow(p, t.header, widths)
+	p.ln(line)
 	for _, row := range t.rows {
 		if row == nil {
-			fmt.Fprintln(w, line)
+			p.ln(line)
 			continue
 		}
-		t.renderRow(w, row, widths)
+		t.renderRow(p, row, widths)
 	}
-	fmt.Fprintln(w, line)
+	p.ln(line)
 }
 
-func (t *Table) renderRow(w io.Writer, row []string, widths []int) {
+func (t *Table) renderRow(p *printer, row []string, widths []int) {
 	var b strings.Builder
 	for i, c := range row {
 		wd := 0
@@ -155,7 +186,7 @@ func (t *Table) renderRow(w io.Writer, row []string, widths []int) {
 			fmt.Fprintf(&b, "%-*s  ", wd, c)
 		}
 	}
-	fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	p.ln(strings.TrimRight(b.String(), " "))
 }
 
 // F formats a float with the given number of decimals.

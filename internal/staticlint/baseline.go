@@ -1,0 +1,70 @@
+package staticlint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BaselineEntry is one historically accepted finding. Line numbers are
+// deliberately absent: a baselined finding is matched by rule, file
+// and message, so edits elsewhere in the file do not churn it.
+type BaselineEntry struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+}
+
+func (e BaselineEntry) key() string { return e.Rule + "\x00" + e.File + "\x00" + e.Message }
+
+// Baseline is the committed debt ledger. Policy: it may only shrink.
+// A finding not in the baseline fails the gate (no new debt), and a
+// baseline entry that no longer fires also fails the gate (paid-off
+// debt must be deleted from the ledger, keeping it honest).
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// ReadBaseline loads a baseline file. A missing file is an empty
+// baseline, so a repo without one is held to the zero-findings bar.
+func ReadBaseline(path string) (*Baseline, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("staticlint: baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Apply splits the result's diagnostics against the baseline: fresh
+// findings (not baselined) and stale entries (baselined but no longer
+// firing). Both lists are sorted and both must be empty for the gate
+// to pass.
+func (b *Baseline) Apply(r *Result) (fresh []Diagnostic, stale []BaselineEntry) {
+	budget := map[string]int{}
+	for _, e := range b.Entries {
+		budget[e.key()]++
+	}
+	for _, d := range r.Diagnostics {
+		if budget[d.key()] > 0 {
+			budget[d.key()]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, e := range b.Entries {
+		if budget[e.key()] > 0 {
+			budget[e.key()]--
+			stale = append(stale, e)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i].key() < stale[j].key() })
+	return fresh, stale
+}

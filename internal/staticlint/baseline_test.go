@@ -1,0 +1,91 @@
+package staticlint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpuport/internal/staticlint"
+)
+
+func TestBaselineApply(t *testing.T) {
+	res := &staticlint.Result{Diagnostics: []staticlint.Diagnostic{
+		{Rule: "errcheck", File: "a.go", Line: 3, Message: "dropped"},
+		{Rule: "errcheck", File: "a.go", Line: 9, Message: "dropped"},
+		{Rule: "floatcmp", File: "b.go", Line: 1, Message: "exact"},
+	}}
+
+	t.Run("empty baseline: everything fresh", func(t *testing.T) {
+		fresh, stale := (&staticlint.Baseline{}).Apply(res)
+		if len(fresh) != 3 || len(stale) != 0 {
+			t.Fatalf("fresh=%d stale=%d, want 3/0", len(fresh), len(stale))
+		}
+	})
+
+	t.Run("matching is a multiset", func(t *testing.T) {
+		// One ledger entry absorbs exactly one of the two identical
+		// line-less findings; the second stays fresh.
+		bl := &staticlint.Baseline{Entries: []staticlint.BaselineEntry{
+			{Rule: "errcheck", File: "a.go", Message: "dropped"},
+		}}
+		fresh, stale := bl.Apply(res)
+		if len(fresh) != 2 || len(stale) != 0 {
+			t.Fatalf("fresh=%d stale=%d, want 2/0", len(fresh), len(stale))
+		}
+	})
+
+	t.Run("stale entries surface", func(t *testing.T) {
+		bl := &staticlint.Baseline{Entries: []staticlint.BaselineEntry{
+			{Rule: "errcheck", File: "a.go", Message: "dropped"},
+			{Rule: "errcheck", File: "a.go", Message: "dropped"},
+			{Rule: "floatcmp", File: "b.go", Message: "exact"},
+			{Rule: "gone", File: "c.go", Message: "paid off"},
+		}}
+		fresh, stale := bl.Apply(res)
+		if len(fresh) != 0 {
+			t.Errorf("fresh=%d, want 0", len(fresh))
+		}
+		if len(stale) != 1 || stale[0].Rule != "gone" {
+			t.Fatalf("stale=%v, want the paid-off entry", stale)
+		}
+	})
+}
+
+func TestReadBaseline(t *testing.T) {
+	dir := t.TempDir()
+
+	t.Run("missing file is the empty baseline", func(t *testing.T) {
+		bl, err := staticlint.ReadBaseline(filepath.Join(dir, "absent.json"))
+		if err != nil || len(bl.Entries) != 0 {
+			t.Fatalf("got %v entries, err %v; want empty, nil", bl, err)
+		}
+	})
+
+	t.Run("malformed json is an error", func(t *testing.T) {
+		path := filepath.Join(dir, "bad.json")
+		if err := os.WriteFile(path, []byte("{nope"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := staticlint.ReadBaseline(path); err == nil {
+			t.Fatal("want parse error")
+		}
+	})
+
+	t.Run("round trip", func(t *testing.T) {
+		path := filepath.Join(dir, "ok.json")
+		body := `{"entries":[{"rule":"errcheck","file":"a.go","message":"dropped"}]}`
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		bl, err := staticlint.ReadBaseline(path)
+		if err != nil || len(bl.Entries) != 1 || bl.Entries[0].Rule != "errcheck" {
+			t.Fatalf("entries=%v err=%v", bl.Entries, err)
+		}
+	})
+
+	t.Run("unreadable file is an error", func(t *testing.T) {
+		if _, err := staticlint.ReadBaseline(dir); err == nil {
+			t.Fatal("reading a directory should fail")
+		}
+	})
+}

@@ -1,0 +1,218 @@
+package staticlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// funcNode is one module-local function in the call graph, with the
+// determinism taints it carries directly.
+type funcNode struct {
+	fn   *types.Func
+	pkg  *Package
+	decl *ast.FuncDecl
+	// callees are the module-local functions this one calls or takes
+	// the value of, in source order, deduplicated.
+	callees []*funcNode
+	// taints are the direct determinism violations in this body.
+	taints []taint
+}
+
+// taint is a direct source of nondeterminism inside one function.
+type taint struct {
+	pos  token.Pos
+	what string
+}
+
+// callGraph is the static, whole-module call graph. Dynamic dispatch
+// (interface methods, calls through function values) has no edges
+// here; see the detpure analyzer doc for why that is sound enough in
+// this repo.
+type callGraph struct {
+	prog  *Program
+	nodes map[*types.Func]*funcNode
+}
+
+// buildCallGraph indexes every declared function in the module and
+// records, per function, its static callees and direct taints. Bodies
+// of function literals are attributed to the declaring function: a
+// goroutine or callback minted inside Estimate taints Estimate.
+func buildCallGraph(prog *Program) *callGraph {
+	g := &callGraph{prog: prog, nodes: map[*types.Func]*funcNode{}}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.nodes[fn] = &funcNode{fn: fn, pkg: pkg, decl: fd}
+			}
+		}
+	}
+	for _, node := range g.nodes {
+		g.scanBody(node)
+	}
+	return g
+}
+
+// scanBody fills in a node's callees and taints.
+func (g *callGraph) scanBody(node *funcNode) {
+	info := node.pkg.Info
+	seen := map[*types.Func]bool{}
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			obj, ok := info.Uses[n].(*types.Func)
+			if !ok {
+				return true
+			}
+			if what := externalTaint(obj); what != "" {
+				node.taints = append(node.taints, taint{n.Pos(), what})
+			}
+			if callee, ok := g.nodes[obj]; ok && !seen[obj] {
+				seen[obj] = true
+				node.callees = append(node.callees, callee)
+			}
+		case *ast.RangeStmt:
+			if kind := mapRangeOrderDependence(info, node.decl, n); kind != "" {
+				node.taints = append(node.taints, taint{n.Pos(),
+					"iterates a map in iteration-order-dependent fashion (" + kind + ")"})
+			}
+		}
+		return true
+	})
+	sort.Slice(node.taints, func(i, j int) bool { return node.taints[i].pos < node.taints[j].pos })
+}
+
+// externalTaint classifies a referenced function from outside the
+// module as a determinism taint source, or returns "".
+func externalTaint(f *types.Func) string {
+	pkg := f.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	switch pkg.Path() {
+	case "time":
+		if f.Name() == "Now" || f.Name() == "Since" {
+			return "reads the wall clock (time." + f.Name() + ")"
+		}
+	case "math/rand", "math/rand/v2":
+		sig, ok := f.Type().(*types.Signature)
+		if ok && sig.Recv() == nil && !strings.HasPrefix(f.Name(), "New") {
+			return "draws from the global math/rand stream (rand." + f.Name() + ")"
+		}
+	}
+	return ""
+}
+
+// FuncDisplayName renders a function as "pkg/path.Func" or
+// "pkg/path.Recv.Method" (pointer receivers written without the
+// star), the grammar Config.DetRoots patterns are written in.
+func FuncDisplayName(f *types.Func) string {
+	prefix := ""
+	if f.Pkg() != nil {
+		prefix = f.Pkg().Path() + "."
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return prefix + named.Obj().Name() + "." + f.Name()
+		}
+	}
+	return prefix + f.Name()
+}
+
+// shortName strips the module path off a display name for chains.
+func (g *callGraph) shortName(f *types.Func) string {
+	return strings.TrimPrefix(FuncDisplayName(f), g.prog.ModulePath+"/")
+}
+
+// rootsMatching resolves one DetRoots pattern (exact name, or a
+// trailing-* glob) to the functions it names, sorted by display name.
+func (g *callGraph) rootsMatching(pattern string) []*funcNode {
+	var out []*funcNode
+	for fn, node := range g.nodes {
+		name := FuncDisplayName(fn)
+		if name == pattern ||
+			(strings.HasSuffix(pattern, "*") && strings.HasPrefix(name, strings.TrimSuffix(pattern, "*"))) {
+			out = append(out, node)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return FuncDisplayName(out[i].fn) < FuncDisplayName(out[j].fn)
+	})
+	return out
+}
+
+// proveDeterminism walks the call graph breadth-first from every root
+// pattern and reports each taint reachable from the proof set, with
+// the call chain that reaches it. A pattern matching no function is
+// itself a finding: a renamed root silently dropping out of the proof
+// is exactly the regression the gate exists to catch. Each taint site
+// is reported once, attributed to the first root (in pattern order)
+// that reaches it.
+func proveDeterminism(pass *Pass) {
+	g := buildCallGraph(pass.Prog)
+	reported := map[token.Pos]bool{}
+	for _, pattern := range pass.Config.DetRoots {
+		roots := g.rootsMatching(pattern)
+		if len(roots) == 0 {
+			pass.Reportf(token.NoPos, "determinism root %q matches no function in the program (renamed or deleted? update the proof set)", pattern)
+			continue
+		}
+		for _, root := range roots {
+			g.reportReachableTaints(pass, root, reported)
+		}
+	}
+}
+
+func (g *callGraph) reportReachableTaints(pass *Pass, root *funcNode, reported map[token.Pos]bool) {
+	parent := map[*funcNode]*funcNode{root: nil}
+	queue := []*funcNode{root}
+	for len(queue) > 0 {
+		node := queue[0]
+		queue = queue[1:]
+		for _, t := range node.taints {
+			if reported[t.pos] {
+				continue
+			}
+			reported[t.pos] = true
+			pass.Reportf(t.pos, "%s in %s, reachable from determinism root %s via %s",
+				t.what, g.shortName(node.fn), g.shortName(root.fn), g.chain(parent, node))
+		}
+		for _, callee := range node.callees {
+			if _, ok := parent[callee]; !ok {
+				parent[callee] = node
+				queue = append(queue, callee)
+			}
+		}
+	}
+}
+
+// chain renders root -> ... -> node, eliding the middle of very deep
+// chains so messages stay readable (and byte-stable).
+func (g *callGraph) chain(parent map[*funcNode]*funcNode, node *funcNode) string {
+	var names []string
+	for n := node; n != nil; n = parent[n] {
+		names = append(names, g.shortName(n.fn))
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	if len(names) > 8 {
+		names = append(append(names[:4:4], fmt.Sprintf("(%d elided)", len(names)-7)), names[len(names)-3:]...)
+	}
+	return strings.Join(names, " -> ")
+}

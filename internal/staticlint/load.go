@@ -1,0 +1,324 @@
+// Package staticlint is the repo's whole-program static analysis
+// engine: a module-aware source loader built on go/parser and
+// go/types, a small analyzer framework (positioned diagnostics,
+// //lint:allow suppressions, a shrink-only baseline, byte-stable JSON
+// and text output), and the repo-specific analyzers that prove the
+// determinism invariants the trace cache, conformance engine and
+// canonical observability exports depend on.
+//
+// Everything here is standard library only. Imports inside the
+// analysed module are resolved from source relative to the module
+// root; standard-library imports are type-checked from GOROOT source
+// via go/importer's "source" compiler, so the engine never fetches
+// anything over the network and CI needs no tool downloads.
+package staticlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the analysed module.
+type Package struct {
+	// Path is the full import path ("gpuport/internal/cost").
+	Path string
+	// Rel is the module-relative path ("internal/cost", "" for the
+	// module root package). Analyzer scopes are expressed against it.
+	Rel string
+	// Dir is the absolute directory the files were read from.
+	Dir string
+	// Files are the parsed, build-tag-selected, non-test files.
+	Files []*ast.File
+	// FileNames[i] is the module-relative slash path of Files[i].
+	FileNames []string
+	// Types and Info carry the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is the loaded whole program: every package of the module
+// under one shared FileSet, fully type-checked.
+type Program struct {
+	Fset       *token.FileSet
+	ModulePath string
+	Root       string
+	// Packages is sorted by import path, so every per-package walk in
+	// the engine is deterministic.
+	Packages []*Package
+
+	byPath map[string]*Package
+}
+
+// PackageByRel returns the package with the given module-relative
+// path, or nil.
+func (p *Program) PackageByRel(rel string) *Package {
+	path := p.ModulePath
+	if rel != "" {
+		path = p.ModulePath + "/" + rel
+	}
+	return p.byPath[path]
+}
+
+// FileName returns the module-relative slash path of the file
+// containing pos, falling back to the FileSet's name for positions
+// outside the module (standard library).
+func (p *Program) FileName(pos token.Pos) string {
+	name := p.Fset.Position(pos).Filename
+	if rel, err := filepath.Rel(p.Root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(name)
+}
+
+// loader resolves imports for one Load call: module-local paths are
+// type-checked from source under the module root, everything else is
+// delegated to the GOROOT source importer.
+type loader struct {
+	fset    *token.FileSet
+	root    string
+	module  string
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// Load parses and type-checks every non-test package under root,
+// which must contain a go.mod naming the module. Directories named
+// testdata, hidden directories and _-prefixed directories are skipped,
+// matching the go tool.
+func Load(root string) (*Program, error) {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modulePath, err := readModulePath(filepath.Join(absRoot, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:    fset,
+		root:    absRoot,
+		module:  modulePath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	dirs, err := packageDirs(absRoot)
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{
+		Fset:       fset,
+		ModulePath: modulePath,
+		Root:       absRoot,
+		byPath:     map[string]*Package{},
+	}
+	for _, dir := range dirs {
+		rel, _ := filepath.Rel(absRoot, dir)
+		path := modulePath
+		if rel != "." {
+			path = modulePath + "/" + filepath.ToSlash(rel)
+		}
+		if _, err := ld.load(path); err != nil {
+			return nil, err
+		}
+	}
+	for _, pkg := range ld.pkgs {
+		prog.Packages = append(prog.Packages, pkg)
+		prog.byPath[pkg.Path] = pkg
+	}
+	sort.Slice(prog.Packages, func(i, j int) bool { return prog.Packages[i].Path < prog.Packages[j].Path })
+	return prog, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	raw, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("staticlint: cannot read %s (the analysis root must be a module root): %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			if path := strings.TrimSpace(rest); path != "" {
+				return strings.Trim(path, `"`), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("staticlint: no module line in %s", gomod)
+}
+
+// packageDirs lists, in sorted order, every directory under root that
+// holds at least one non-test .go file.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if n := len(dirs); n == 0 || dirs[n-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	sort.Strings(dirs)
+	return dirs, err
+}
+
+// Import implements types.Importer. Module-local paths recurse into
+// the loader; "unsafe" and the standard library go to the GOROOT
+// source importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == "C" {
+		return nil, fmt.Errorf("staticlint: cgo is not supported")
+	}
+	local := path == ld.module || strings.HasPrefix(path, ld.module+"/")
+	if !local {
+		return ld.std.Import(path)
+	}
+	pkg, err := ld.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+// load type-checks one module-local package (memoised).
+func (ld *loader) load(path string) (*Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("staticlint: import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, ld.module), "/")
+	dir := filepath.Join(ld.root, filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("staticlint: package %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Rel: rel, Dir: dir}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if !fileSelected(name, src) {
+			continue
+		}
+		file, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("staticlint: %w", err)
+		}
+		pkg.Files = append(pkg.Files, file)
+		relFile := name
+		if rel != "" {
+			relFile = rel + "/" + name
+		}
+		pkg.FileNames = append(pkg.FileNames, relFile)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("staticlint: package %s has no buildable go files", path)
+	}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("staticlint: type-checking %s: %w", path, err)
+	}
+	pkg.Types = tpkg
+	ld.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// fileSelected reports whether a file participates in the default
+// build: its //go:build / +build constraints (and any GOOS/GOARCH
+// filename suffix) must be satisfied with no custom tags set, exactly
+// like a plain `go build` on this machine. This is what keeps the
+// conformmutate-tagged mutation hooks out of the analysed program.
+func fileSelected(name string, src []byte) bool {
+	if !goodOSArchFile(name) {
+		return false
+	}
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "package ") {
+			break
+		}
+		if constraint.IsGoBuild(trimmed) || constraint.IsPlusBuild(trimmed) {
+			expr, err := constraint.Parse(trimmed)
+			if err != nil {
+				continue
+			}
+			if !expr.Eval(tagSatisfied) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// tagSatisfied is the default-build tag oracle: host OS/arch, the gc
+// toolchain, and every go1.N language version are on; custom tags
+// (conformmutate) are off.
+func tagSatisfied(tag string) bool {
+	return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc" ||
+		strings.HasPrefix(tag, "go1.")
+}
+
+// knownOSArch covers the GOOS/GOARCH filename suffixes that could
+// plausibly appear here; the repo itself has none, so the list only
+// needs to keep foreign-platform files out if one ever lands.
+var knownOSArch = map[string]bool{
+	"linux": true, "darwin": true, "windows": true, "freebsd": true,
+	"netbsd": true, "openbsd": true, "js": true, "wasip1": true,
+	"amd64": true, "arm64": true, "386": true, "arm": true,
+	"riscv64": true, "wasm": true, "ppc64le": true, "s390x": true,
+}
+
+func goodOSArchFile(name string) bool {
+	base := strings.TrimSuffix(name, ".go")
+	parts := strings.Split(base, "_")
+	// Consider up to the final two _-separated chunks, matching the go
+	// tool's name_GOOS_GOARCH.go convention.
+	tags := parts[max(1, len(parts)-2):]
+	for _, t := range tags {
+		if knownOSArch[t] && t != runtime.GOOS && t != runtime.GOARCH {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,3 @@
+module badcgo
+
+go 1.24

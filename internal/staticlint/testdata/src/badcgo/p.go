@@ -1,0 +1,6 @@
+// Package p imports cgo, which the loader refuses.
+package p
+
+import "C"
+
+var _ = C.int(0)

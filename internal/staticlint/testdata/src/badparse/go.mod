@@ -1,0 +1,3 @@
+module badparse
+
+go 1.24

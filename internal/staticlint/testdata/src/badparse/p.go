@@ -1,0 +1,4 @@
+// Package p does not parse.
+package p
+
+func F( {

@@ -1,0 +1,4 @@
+// Package p does not type-check.
+package p
+
+func F() int { return "not an int" }

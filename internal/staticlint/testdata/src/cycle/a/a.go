@@ -1,0 +1,7 @@
+// Package a completes the import cycle.
+package a
+
+import "cycle/b"
+
+// X depends on b.
+var X = b.Y + 1

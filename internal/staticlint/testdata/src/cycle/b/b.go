@@ -1,0 +1,7 @@
+// Package b starts the import cycle.
+package b
+
+import "cycle/a"
+
+// Y depends on a.
+var Y = a.X + 1

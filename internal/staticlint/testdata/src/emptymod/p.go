@@ -1,0 +1,2 @@
+// Package p sits in a module whose go.mod names no module.
+package p

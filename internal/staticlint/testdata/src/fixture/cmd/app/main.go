@@ -1,0 +1,15 @@
+// Command app is the fixture entry point: cmd/ may mint contexts and
+// read the clock, and sits outside the errcheck scope.
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+	fmt.Println(time.Now().Unix())
+}

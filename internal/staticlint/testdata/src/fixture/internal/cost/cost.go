@@ -1,0 +1,20 @@
+// Package cost exercises the floatcmp analyzer.
+package cost
+
+// Equal compares floats exactly: planted bug.
+func Equal(a, b float64) bool { return a == b }
+
+// ZeroGuard compares against literal zero, the allowed guard.
+func ZeroGuard(x float64) bool { return x == 0 }
+
+// Near compares against a tolerance, the blessed form.
+func Near(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+// Ints may compare exactly.
+func Ints(a, b int) bool { return a == b }

@@ -1,0 +1,44 @@
+// Package errs exercises the errcheck analyzer: a silent drop, the
+// explicit-assignment escape, a documented suppression, a malformed
+// suppression, and the infallible-sink exemptions.
+package errs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+)
+
+// Drop silently discards the error: planted bug.
+func Drop(path string) {
+	os.Remove(path)
+}
+
+// Explicit assigns the error away, which is visible intent.
+func Explicit(path string) {
+	_ = os.Remove(path)
+}
+
+// Suppressed documents the drop with an allow pragma.
+func Suppressed(path string) {
+	//lint:allow errcheck best-effort cleanup on the fixture path
+	os.Remove(path)
+}
+
+// Bare is missing the reason, so the pragma itself is a finding and
+// the drop still fires.
+func Bare(path string) {
+	//lint:allow errcheck
+	os.Remove(path)
+}
+
+// Sinks writes to infallible and sticky sinks, which are exempt.
+func Sinks(parts []string) string {
+	var b strings.Builder
+	b.WriteString("head")
+	fmt.Fprintf(&b, " %d parts", len(parts))
+	h := fnv.New64a()
+	h.Write([]byte(b.String()))
+	return fmt.Sprint(h.Sum64())
+}

@@ -1,0 +1,139 @@
+// Package maprange exercises the maprange analyzer: the blessed
+// collect-then-sort idiom, the planted unsorted append and direct
+// encode, and the order-independent shapes that must stay silent.
+package maprange
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Keys collects then sorts: the blessed idiom.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Unsorted appends in iteration order and never sorts: planted bug.
+func Unsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Encode streams entries straight from the map: planted bug.
+func Encode(m map[string]int) []byte {
+	var b bytes.Buffer
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%d\n", k, v)
+	}
+	return b.Bytes()
+}
+
+// Invert writes through keys, which is order-independent.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Total accumulates ints, which commutes.
+func Total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Render streams keys through a Builder method: the other planted
+// encode shape.
+func Render(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// LastWins assigns a loop value to an outer variable: last-key-wins,
+// surfaced only through the determinism prover, not maprange.
+func LastWins(m map[string]int) int {
+	last := 0
+	for _, v := range m {
+		last = v
+	}
+	return last
+}
+
+// First returns from inside the loop: first-key-wins, ditto.
+func First(m map[string]int) (int, bool) {
+	for _, v := range m {
+		return v, true
+	}
+	return 0, false
+}
+
+// Push sends values down a channel in iteration order, ditto.
+func Push(m map[string]int, ch chan<- int) {
+	for _, v := range m {
+		ch <- v
+	}
+}
+
+// SetFlag assigns a constant, which no visit order can change.
+func SetFlag(m map[string]int) bool {
+	found := false
+	for range m {
+		found = true
+	}
+	return found
+}
+
+// SetOuter assigns a loop-invariant value: order-independent.
+func SetOuter(m map[string]int, x int) int {
+	got := 0
+	for range m {
+		got = x
+	}
+	return got
+}
+
+// Derived launders the loop value through a temporary; the verdict
+// (last-key-wins, prover-only) must not change.
+func Derived(m map[string]int) int {
+	last := 0
+	for _, v := range m {
+		w := v * 2
+		last = w
+	}
+	return last
+}
+
+type acc struct{ n int }
+
+// Sum accumulates ints through a selector and a pointer: the target
+// resolver chases both, and integer += stays exempt.
+func Sum(m map[string]int, a *acc, p *int) {
+	for _, v := range m {
+		a.n += v
+		*p += v
+	}
+}
+
+// Each hands values to a caller-supplied function: out of scope.
+func Each(m map[string]int, f func(int)) {
+	for _, v := range m {
+		f(v)
+	}
+}

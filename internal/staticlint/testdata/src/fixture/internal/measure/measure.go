@@ -1,0 +1,35 @@
+// Package measure exercises the ctxprop analyzer: a context minted
+// outside the entry points, a goroutine pool with no context in
+// scope, and the clean twin that threads one.
+package measure
+
+import (
+	"context"
+	"sync"
+)
+
+// Mint defaults a context outside cmd/: planted bug.
+func Mint() context.Context { return context.Background() }
+
+// Spawn starts workers with no context in scope: planted bug.
+func Spawn(jobs []int) {
+	var wg sync.WaitGroup
+	for range jobs {
+		wg.Add(1)
+		go func() { defer wg.Done() }()
+	}
+	wg.Wait()
+}
+
+// SpawnCtx threads the caller's context, the clean twin.
+func SpawnCtx(ctx context.Context, jobs []int) {
+	var wg sync.WaitGroup
+	for range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-ctx.Done()
+		}()
+	}
+	wg.Wait()
+}

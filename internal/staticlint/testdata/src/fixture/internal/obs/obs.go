@@ -1,0 +1,35 @@
+// Package obs is the fixture's miniature observability layer: the
+// named constants and recorder surface the obsnames analyzer checks.
+// Reading the clock here is legitimate (the package is in the
+// walltime-allowed scope), mirroring the real instrumentation layer.
+package obs
+
+import "time"
+
+const (
+	CtrHits  = "cache.hits"
+	EvStart  = "ev.start"
+	AttrPath = "path"
+)
+
+// Recorder mirrors the real recorder's name-taking surface.
+type Recorder struct {
+	counts map[string]int64
+}
+
+// Add bumps a named counter.
+func (r *Recorder) Add(name string, v int64) {
+	if r.counts == nil {
+		r.counts = map[string]int64{}
+	}
+	r.counts[name] += v
+}
+
+// Event records a named point event.
+func (r *Recorder) Event(name string, lane int) {}
+
+// StartSpan opens a named span.
+func (r *Recorder) StartSpan(name string) time.Time { return time.Now() }
+
+// String builds a key/value attribute.
+func String(key, value string) [2]string { return [2]string{key, value} }

@@ -1,0 +1,18 @@
+// Package obsemit exercises the obsnames analyzer: named obs
+// constants pass, ad-hoc literals and foreign constants fail, and
+// computed names stay allowed.
+package obsemit
+
+import "fixture/internal/obs"
+
+const localName = "local.counter"
+
+// Emit records a mix of blessed and ad-hoc names.
+func Emit(r *obs.Recorder, kernel string) {
+	r.Add(obs.CtrHits, 1)
+	r.Add("adhoc.counter", 1)
+	r.Add(localName, 1)
+	r.Event(obs.EvStart+kernel, 0)
+	_ = obs.String(obs.AttrPath, kernel)
+	_ = obs.String("adhoc.attr", kernel)
+}

@@ -1,0 +1,8 @@
+// Package rnd plants a global math/rand draw outside the seeded stats
+// scope, for the globalrand analyzer.
+package rnd
+
+import "math/rand"
+
+// Pick draws from the global stream.
+func Pick(n int) int { return rand.Intn(n) }

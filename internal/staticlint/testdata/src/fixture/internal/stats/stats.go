@@ -1,0 +1,14 @@
+// Package stats is the clean twin for the globalrand rule: the seeded
+// stats scope may reference math/rand.
+package stats
+
+import "math/rand"
+
+// RNG wraps a seeded source.
+type RNG struct{ r *rand.Rand }
+
+// New seeds a generator.
+func New(seed int64) *RNG { return &RNG{r: rand.New(rand.NewSource(seed))} }
+
+// Intn draws from the seeded stream.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }

@@ -1,0 +1,8 @@
+// Package wall plants a wall-clock read outside the instrumentation
+// scope, for the walltime analyzer and the detpure taint walk.
+package wall
+
+import "time"
+
+// Stamp mixes the clock into its argument.
+func Stamp(n int) int { return n + int(time.Now().UnixNano()) }

@@ -66,6 +66,7 @@ func MannWhitneyU(a, b []float64) MWUResult {
 	tieTerm := 0.0
 	for i := 0; i < n; {
 		j := i
+		//lint:allow floatcmp tie groups need exact equality; a tolerance would merge distinct ranks
 		for j < n && all[j].v == all[i].v {
 			j++
 		}

@@ -162,7 +162,7 @@ func (s *Store) Get(k Key) (*irgl.Trace, bool) {
 	}
 	tr, err := decodeEntry(raw)
 	if err != nil {
-		os.Remove(path)
+		_ = os.Remove(path) // best-effort heal; a stuck entry re-misses next time
 		s.count(func(st *Stats) { st.Misses++; st.Corrupt++ })
 		s.rec.Add(obs.CtrCacheCorrupt, 1)
 		s.rec.Event(obs.EvCacheHeal, 0, obs.String(obs.AttrPath, filepath.Base(path)))
@@ -204,14 +204,14 @@ func (s *Store) put(k Key, tr *irgl.Trace) error {
 	_, werr := tmp.Write(entry)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name()) // best-effort cleanup; the write error takes precedence
 		if werr == nil {
 			werr = cerr
 		}
 		return fmt.Errorf("tracecache: write: %w", werr)
 	}
 	if err := os.Rename(tmp.Name(), s.path(k)); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name()) // best-effort cleanup; the write error takes precedence
 		return fmt.Errorf("tracecache: %w", err)
 	}
 	return nil
