@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all vet build fmt-check lint staticgate test race conform conform-mutate fuzz cover ci bench bench-fault bench-trace bench-obs bench-ci profile clean
+.PHONY: all vet build fmt-check lint staticgate test race conform conform-mutate fuzz cover ci bench bench-fault bench-trace bench-obs bench-cost bench-ci profile clean
+
+# BENCHMD, when set, makes every benchcheck invocation append its
+# markdown results table (benchmark, ns/op, gate, verdict) to that
+# file; CI points it at $GITHUB_STEP_SUMMARY.
+BENCHMD_FLAG = $(if $(BENCHMD),-md '$(BENCHMD)')
 
 all: ci
 
@@ -70,7 +75,9 @@ cover:
 	$(GO) test -cover ./... > cover.out || { cat cover.out; rm -f cover.out; exit 1; }
 	$(GO) run ./cmd/covercheck -in cover.out \
 		-floor gpuport/internal/apps,90 \
+		-floor gpuport/internal/conform,88 \
 		-floor gpuport/internal/cost,92 \
+		-floor gpuport/internal/cost/columnar,95 \
 		-floor gpuport/internal/irgl,89 \
 		-floor gpuport/internal/staticlint,90
 	@rm -f cover.out
@@ -95,7 +102,7 @@ bench-fault:
 bench-trace:
 	$(GO) test -run xxx -bench '^(BenchmarkTraces|BenchmarkTracesParallel|BenchmarkTracesCached)$$' \
 		-benchtime 10x -benchmem . | tee bench-trace.out
-	$(GO) run ./cmd/benchcheck -in bench-trace.out -json BENCH_trace.json \
+	$(GO) run ./cmd/benchcheck -in bench-trace.out -json BENCH_trace.json $(BENCHMD_FLAG) \
 		-speedup 'BenchmarkTraces,BenchmarkTracesParallel,2.0,4' \
 		-speedup 'BenchmarkTraces,BenchmarkTracesCached,10.0'
 	@rm -f bench-trace.out
@@ -106,7 +113,7 @@ bench-trace:
 # BENCH_obs.json.
 bench-obs:
 	$(GO) test -run xxx -bench '^BenchmarkSpanOverhead$$' -benchtime 20x -benchmem . | tee bench-obs.out
-	$(GO) run ./cmd/benchcheck -in bench-obs.out -json BENCH_obs.json \
+	$(GO) run ./cmd/benchcheck -in bench-obs.out -json BENCH_obs.json $(BENCHMD_FLAG) \
 		-maxratio 'BenchmarkSpanOverhead/stages-only,BenchmarkSpanOverhead/spans-sim,1.5'
 	@rm -f bench-obs.out
 
@@ -119,17 +126,34 @@ profile:
 		-out profile-study.csv dataset
 	@echo "wrote cpu.pprof mem.pprof obs-trace.json obs-metrics.prom"
 
+# bench-cost guards the columnar sweep engine's contract (see
+# internal/cost/columnar and DESIGN.md 5f): replaying the sweep grid
+# through Columns/Evaluator is >= 10x faster than the reference
+# cost.Estimate path on one thread, and building the columns costs at
+# most half of even the columnar sweep, so per-trace Build amortises
+# within a single (chip x config) grid. -count=4 repeats feed
+# benchcheck's min-fold, binding the gates on steady-state figures
+# rather than a noisy repeat. Recorded in BENCH_cost.json.
+bench-cost:
+	$(GO) test -run xxx -bench '^(BenchmarkSweepReference|BenchmarkSweepColumnar|BenchmarkColumnarBuild)$$' \
+		-benchtime 20x -count 4 . | tee bench-cost.out
+	$(GO) run ./cmd/benchcheck -in bench-cost.out -json BENCH_cost.json $(BENCHMD_FLAG) \
+		-speedup 'BenchmarkSweepReference,BenchmarkSweepColumnar,10.0' \
+		-maxratio 'BenchmarkSweepColumnar,BenchmarkColumnarBuild,0.5'
+	@rm -f bench-cost.out
+
 # bench-ci is the benchmark-regression job: the full suite recorded as
 # BENCH_ci.json, gated on the fault-layer overhead claim (zero-rate
-# faults within noise of no fault layer; 1.5x absorbs CI jitter).
-bench-ci:
+# faults within noise of no fault layer; 1.5x absorbs CI jitter), plus
+# the bench-cost sweep-throughput gates.
+bench-ci: bench-cost
 	$(GO) test -run xxx -bench=. -benchtime 10x -benchmem . | tee bench-ci.out
-	$(GO) run ./cmd/benchcheck -in bench-ci.out -json BENCH_ci.json \
+	$(GO) run ./cmd/benchcheck -in bench-ci.out -json BENCH_ci.json $(BENCHMD_FLAG) \
 		-maxratio 'BenchmarkCollectFaultOverhead/no-fault-layer,BenchmarkCollectFaultOverhead/zero-rate-faults,1.5' \
 		-speedup 'BenchmarkTraces,BenchmarkTracesCached,10.0'
 	@rm -f bench-ci.out
 
 clean:
 	$(GO) clean ./...
-	rm -f bench-trace.out bench-ci.out bench-obs.out cover.out conform-a.json conform-b.json
+	rm -f bench-trace.out bench-ci.out bench-obs.out bench-cost.out cover.out conform-a.json conform-b.json
 	rm -f cpu.pprof mem.pprof obs-trace.json obs-metrics.prom profile-study.csv

@@ -15,6 +15,7 @@ import (
 	"gpuport/internal/apps"
 	"gpuport/internal/chip"
 	"gpuport/internal/cost"
+	"gpuport/internal/cost/columnar"
 	"gpuport/internal/dataset"
 	"gpuport/internal/fault"
 	"gpuport/internal/graph"
@@ -496,6 +497,95 @@ func BenchmarkAblationTraceReuse(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- columnar cost engine: the bound behind `make bench-cost` ---
+//
+// Both sweep benchmarks evaluate the same grid - every (app, input)
+// profile x 6 chips x 96 configs, the per-trace unit of work of a
+// collection campaign - single-threaded. The columnar run pays its
+// full pipeline inside the timer (Build + per-chip NewEvaluator +
+// per-config assembly), so the measured ratio is the end-to-end sweep
+// speedup, not a cherry-picked inner loop. cmd/benchcheck enforces
+// >= 10x via `make bench-cost`, recorded in BENCH_cost.json.
+
+// sweepProfiles builds the traces the sweep benchmarks replay: three
+// structurally different applications on an RMAT social graph.
+func sweepProfiles(b *testing.B) []*cost.TraceProfile {
+	b.Helper()
+	g := graph.GenerateRMAT("bench-sweep", 11, 16, 5)
+	var out []*cost.TraceProfile
+	for _, name := range []string{"bfs-wl", "sssp-nf", "pr-residual"} {
+		app, err := apps.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, _ := app.Run(g)
+		out = append(out, cost.NewTraceProfile(tr))
+	}
+	return out
+}
+
+// BenchmarkSweepReference sweeps the grid through the reference engine
+// (cost.Estimate per cell, as the harness ran before the columnar
+// engine existed).
+func BenchmarkSweepReference(b *testing.B) {
+	profiles := sweepProfiles(b)
+	chips := chip.All()
+	cfgs := opt.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink := 0.0
+		for _, tp := range profiles {
+			for _, ch := range chips {
+				for _, cfg := range cfgs {
+					sink += cost.Estimate(ch, cfg, tp)
+				}
+			}
+		}
+		if sink <= 0 {
+			b.Fatal("bad sweep")
+		}
+	}
+}
+
+// BenchmarkSweepColumnar sweeps the same grid through the columnar
+// engine, rebuilding columns and evaluators inside the timer.
+func BenchmarkSweepColumnar(b *testing.B) {
+	profiles := sweepProfiles(b)
+	chips := chip.All()
+	cfgs := opt.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink := 0.0
+		for _, tp := range profiles {
+			cols := columnar.Build(tp)
+			for _, ch := range chips {
+				ev := columnar.NewEvaluator(ch, cols)
+				for _, cfg := range cfgs {
+					sink += ev.Estimate(cfg)
+				}
+			}
+		}
+		if sink <= 0 {
+			b.Fatal("bad sweep")
+		}
+	}
+}
+
+// BenchmarkColumnarBuild isolates the config-invariant precompute; the
+// max-ratio gate bounds it to a fraction of the columnar sweep so the
+// build phase can never quietly grow into a second bottleneck.
+func BenchmarkColumnarBuild(b *testing.B) {
+	profiles := sweepProfiles(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tp := range profiles {
+			if columnar.Build(tp).Launches() == 0 {
+				b.Fatal("empty columns")
+			}
+		}
+	}
 }
 
 // --- observability overhead: the bound behind `make bench-obs` ---

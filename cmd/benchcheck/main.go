@@ -22,6 +22,20 @@
 // -maxratio asserts ns/op(probe) / ns/op(base) <= maxfactor; it gates
 // overhead claims such as "zero-rate fault injection is free".
 //
+// When the input carries repeats of the same benchmark (go test
+// -count=N), assertions bind on the minimum ns/op per name,
+// benchstat-style: the minimum is the run least disturbed by the
+// machine, so gates compare steady-state figures instead of whichever
+// repeat a scheduler hiccup landed on. The JSON record keeps every
+// repeat verbatim.
+//
+// -md appends a markdown results table (benchmark, ns/op, gate,
+// verdict) to the named file; pointing it at $GITHUB_STEP_SUMMARY
+// surfaces the table on the workflow run page. Skipped gates are
+// always listed explicitly - on the SKIP line (with the observed CPU
+// count), in the JSON record, and in an end-of-run summary - so a
+// guard that never binds anywhere is visible, not silent.
+//
 // Exit status is non-zero if any binding assertion fails or a named
 // benchmark is missing from the input.
 package main
@@ -56,13 +70,14 @@ type record struct {
 }
 
 type assert struct {
-	Kind    string  `json:"kind"` // "speedup" or "maxratio"
-	Base    string  `json:"base"`
-	Probe   string  `json:"probe"`
-	Bound   float64 `json:"bound"`
-	MinCPUs int     `json:"min_cpus,omitempty"`
-	Factor  float64 `json:"factor"` // observed ratio, 0 when skipped
-	Status  string  `json:"status"` // "pass", "fail", "skipped"
+	Kind     string  `json:"kind"` // "speedup" or "maxratio"
+	Base     string  `json:"base"`
+	Probe    string  `json:"probe"`
+	Bound    float64 `json:"bound"`
+	MinCPUs  int     `json:"min_cpus,omitempty"`
+	SeenCPUs int     `json:"seen_cpus,omitempty"` // CPUs the record ran with (CPU-guarded gates)
+	Factor   float64 `json:"factor"`              // observed ratio, 0 when skipped
+	Status   string  `json:"status"`              // "pass", "fail", "skipped"
 }
 
 // multiFlag collects repeatable string flags.
@@ -82,6 +97,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
 	inPath := fs.String("in", "", "bench output file (default stdin)")
 	jsonPath := fs.String("json", "", "write parsed results as JSON to this file")
+	mdPath := fs.String("md", "", "append a markdown results table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	var speedups, maxratios multiFlag
 	fs.Var(&speedups, "speedup", "slow,fast,minfactor[,mincpus] assertion (repeatable)")
 	fs.Var(&maxratios, "maxratio", "base,probe,maxfactor assertion (repeatable)")
@@ -110,9 +126,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 
 	rec := record{Results: results}
+	folded := fold(results)
 	failed := 0
 	for _, spec := range speedups {
-		a, err := checkSpeedup(results, spec)
+		a, err := checkSpeedup(folded, spec)
 		if err != nil {
 			return err
 		}
@@ -120,14 +137,20 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		failed += report(stdout, a)
 	}
 	for _, spec := range maxratios {
-		a, err := checkMaxRatio(results, spec)
+		a, err := checkMaxRatio(folded, spec)
 		if err != nil {
 			return err
 		}
 		rec.Assertions = append(rec.Assertions, a)
 		failed += report(stdout, a)
 	}
+	reportSkips(stdout, rec.Assertions)
 
+	if *mdPath != "" {
+		if err := appendMarkdown(*mdPath, folded, rec.Assertions); err != nil {
+			return err
+		}
+	}
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(rec, "", "  ")
 		if err != nil {
@@ -188,6 +211,25 @@ func parse(r io.Reader) ([]result, error) {
 	return out, sc.Err()
 }
 
+// fold collapses -count repeats to one result per name holding the
+// minimum ns/op, in first-seen order. Assertions and the markdown
+// table bind on folded figures; the JSON record keeps the repeats.
+func fold(results []result) []result {
+	idx := map[string]int{}
+	var out []result
+	for _, r := range results {
+		if i, ok := idx[r.Name]; ok {
+			if r.NsPerOp < out[i].NsPerOp {
+				out[i] = r
+			}
+			continue
+		}
+		idx[r.Name] = len(out)
+		out = append(out, r)
+	}
+	return out
+}
+
 func find(results []result, name string) (result, error) {
 	for _, r := range results {
 		if r.Name == name {
@@ -227,6 +269,9 @@ func checkSpeedup(results []result, spec string) (assert, error) {
 		return assert{}, err
 	}
 	a := assert{Kind: "speedup", Base: slow.Name, Probe: fast.Name, Bound: bound, MinCPUs: minCPUs}
+	if minCPUs > 0 {
+		a.SeenCPUs = fast.Procs
+	}
 	if minCPUs > 0 && fast.Procs < minCPUs {
 		a.Status = "skipped"
 		return a, nil
@@ -269,7 +314,8 @@ func checkMaxRatio(results []result, spec string) (assert, error) {
 func report(w io.Writer, a assert) int {
 	switch {
 	case a.Status == "skipped":
-		fmt.Fprintf(w, "SKIP %s %s vs %s: needs >= %d CPUs\n", a.Kind, a.Probe, a.Base, a.MinCPUs)
+		fmt.Fprintf(w, "SKIP %s %s vs %s: needs >= %d CPUs, record ran with %d\n",
+			a.Kind, a.Probe, a.Base, a.MinCPUs, a.SeenCPUs)
 	case a.Kind == "speedup":
 		fmt.Fprintf(w, "%s speedup %s vs %s: %.2fx (want >= %.2fx)\n",
 			strings.ToUpper(a.Status), a.Probe, a.Base, a.Factor, a.Bound)
@@ -281,4 +327,75 @@ func report(w io.Writer, a assert) int {
 		return 1
 	}
 	return 0
+}
+
+// reportSkips restates every skipped gate at the end of the run. The
+// per-assertion SKIP line can scroll away in CI logs; an unconditional
+// closing summary makes "this machine never exercised gate X" a fact
+// the reader must step over, not hunt for.
+func reportSkips(w io.Writer, asserts []assert) {
+	var skipped []assert
+	for _, a := range asserts {
+		if a.Status == "skipped" {
+			skipped = append(skipped, a)
+		}
+	}
+	if len(skipped) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "benchcheck: %d gate(s) not exercised on this machine:\n", len(skipped))
+	for _, a := range skipped {
+		fmt.Fprintf(w, "  - %s %s vs %s (needs >= %d CPUs, record ran with %d)\n",
+			a.Kind, a.Probe, a.Base, a.MinCPUs, a.SeenCPUs)
+	}
+}
+
+// gateCell renders an assertion as the gate a probe benchmark sits
+// behind, for the markdown table.
+func gateCell(a assert) string {
+	switch a.Kind {
+	case "speedup":
+		if a.Status == "skipped" {
+			return fmt.Sprintf("speedup vs %s >= %.2fx (needs >= %d CPUs, ran with %d)",
+				a.Base, a.Bound, a.MinCPUs, a.SeenCPUs)
+		}
+		return fmt.Sprintf("speedup vs %s: %.2fx (want >= %.2fx)", a.Base, a.Factor, a.Bound)
+	default:
+		return fmt.Sprintf("ratio vs %s: %.3fx (want <= %.2fx)", a.Base, a.Factor, a.Bound)
+	}
+}
+
+// appendMarkdown appends a results table - benchmark, ns/op, gate,
+// verdict - to path. Appending (not truncating) lets several
+// benchcheck invocations share one $GITHUB_STEP_SUMMARY.
+func appendMarkdown(path string, results []result, asserts []assert) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("| benchmark | ns/op | gate | verdict |\n|---|---:|---|---|\n")
+	for _, r := range results {
+		gates, verdict := "-", "recorded"
+		for _, a := range asserts {
+			if a.Probe != r.Name {
+				continue
+			}
+			if gates == "-" {
+				gates, verdict = gateCell(a), strings.ToUpper(a.Status)
+			} else {
+				gates += "; " + gateCell(a)
+			}
+			if a.Status == "fail" || (a.Status == "skipped" && verdict != "FAIL") {
+				verdict = strings.ToUpper(a.Status)
+			}
+		}
+		fmt.Fprintf(&b, "| %s | %.0f | %s | %s |\n", r.Name, r.NsPerOp, gates, verdict)
+	}
+	b.WriteString("\n")
+	if _, err := f.WriteString(b.String()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -128,6 +128,131 @@ func TestMaxRatioGuard(t *testing.T) {
 	}
 }
 
+// Repeated benchmark lines, as emitted by `go test -count=3`: the
+// folded figures (min ns/op per name) are what assertions bind on.
+const sampleBenchRepeats = `BenchmarkSweepReference 	     300	   5200000 ns/op
+BenchmarkSweepReference 	     300	   5000000 ns/op
+BenchmarkSweepReference 	     300	   6800000 ns/op
+BenchmarkSweepColumnar  	     300	    900000 ns/op
+BenchmarkSweepColumnar  	     300	    480000 ns/op
+BenchmarkSweepColumnar  	     300	    500000 ns/op
+PASS
+`
+
+func TestCountFolding(t *testing.T) {
+	// min(ref)=5.0e6, min(col)=4.8e5: speedup 10.42x. Pairing the
+	// noisiest repeats instead (6.8e6, 9e5) would give 7.6x and a
+	// first-line pairing 5.78x; only the folded minimum passes 10.3.
+	out, err := runCheck(t, sampleBenchRepeats,
+		"-speedup", "BenchmarkSweepReference,BenchmarkSweepColumnar,10.3")
+	if err != nil {
+		t.Fatalf("folded speedup failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "PASS speedup BenchmarkSweepColumnar vs BenchmarkSweepReference: 10.42x") {
+		t.Errorf("output:\n%s", out)
+	}
+
+	// The JSON record keeps every repeat verbatim.
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if _, err := runCheck(t, sampleBenchRepeats, "-json", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Results) != 6 {
+		t.Errorf("record kept %d results, want all 6 repeats", len(rec.Results))
+	}
+}
+
+// TestSkipVisibility: a CPU-guarded skip names the observed CPU count
+// on its line and is restated in the end-of-run summary - a gate that
+// never binds is explicit, not silent.
+func TestSkipVisibility(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	out, err := runCheck(t, sampleBench1CPU, "-json", path,
+		"-speedup", "BenchmarkTraces,BenchmarkTracesParallel,2.0,4")
+	if err != nil {
+		t.Fatalf("guarded run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "needs >= 4 CPUs, record ran with 1") {
+		t.Errorf("SKIP line lacks the observed CPU count:\n%s", out)
+	}
+	if !strings.Contains(out, "1 gate(s) not exercised on this machine:") ||
+		!strings.Contains(out, "- speedup BenchmarkTracesParallel vs BenchmarkTraces (needs >= 4 CPUs, record ran with 1)") {
+		t.Errorf("missing end-of-run skip summary:\n%s", out)
+	}
+
+	var rec record
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if a := rec.Assertions[0]; a.Status != "skipped" || a.SeenCPUs != 1 {
+		t.Errorf("assertion = %+v, want skipped with seen_cpus 1", a)
+	}
+
+	// No skips: no summary block.
+	out, err = runCheck(t, sampleBench,
+		"-speedup", "BenchmarkTraces,BenchmarkTracesParallel,2.0,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "not exercised") {
+		t.Errorf("spurious skip summary:\n%s", out)
+	}
+}
+
+// TestMarkdownTable: -md appends a benchmark/ns-op/gate/verdict table,
+// and a second invocation extends the same file rather than clobbering
+// it, the way successive make targets share one $GITHUB_STEP_SUMMARY.
+func TestMarkdownTable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "summary.md")
+	out, err := runCheck(t, sampleBenchRepeats, "-md", path,
+		"-speedup", "BenchmarkSweepReference,BenchmarkSweepColumnar,10.3")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := string(data)
+	for _, want := range []string{
+		"| benchmark | ns/op | gate | verdict |",
+		"| BenchmarkSweepReference | 5000000 | - | recorded |",
+		"| BenchmarkSweepColumnar | 480000 | speedup vs BenchmarkSweepReference: 10.42x (want >= 10.30x) | PASS |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown lacks %q:\n%s", want, md)
+		}
+	}
+
+	if _, err := runCheck(t, sampleBench1CPU, "-md", path,
+		"-speedup", "BenchmarkTraces,BenchmarkTracesParallel,2.0,4"); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md = string(data)
+	if !strings.Contains(md, "BenchmarkSweepColumnar") || !strings.Contains(md, "BenchmarkTracesParallel") {
+		t.Errorf("second -md run clobbered the first table:\n%s", md)
+	}
+	if !strings.Contains(md, "(needs >= 4 CPUs, ran with 1) | SKIPPED |") {
+		t.Errorf("markdown hides the skipped gate:\n%s", md)
+	}
+}
+
 func TestJSONOutput(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	if _, err := runCheck(t, sampleBench,

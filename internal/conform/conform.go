@@ -155,7 +155,7 @@ func Run(o Options) (*Report, error) {
 	// Pillar 2: metamorphic properties, each on an independent stream.
 	for _, p := range propList {
 		pr := PropResult{Name: p.Name, Trials: o.Trials, Status: "pass"}
-		if err := p.Check(stats.NewRNG(propSeed(o.Seed, p.Name)), o.Trials); err != nil {
+		if err := p.Check(p.eng, stats.NewRNG(propSeed(o.Seed, p.Name)), o.Trials); err != nil {
 			pr.Status = "fail"
 			pr.Error = err.Error()
 		}

@@ -1,0 +1,130 @@
+package conform
+
+import (
+	"testing"
+
+	"gpuport/internal/chip"
+	"gpuport/internal/irgl"
+	"gpuport/internal/stats"
+)
+
+// TestEnginesAgreeOnGeneratedTraces drives diffTrace directly over each
+// generator family (the property exercises the same path through Run).
+func TestEnginesAgreeOnGeneratedTraces(t *testing.T) {
+	r := stats.NewRNG(11)
+	for i := 0; i < 5; i++ {
+		for _, tr := range []*irgl.Trace{
+			randTrace(r), launchHeavyTrace(r), pushHeavyTrace(r), divergenceTrace(r),
+		} {
+			if err := diffTrace(tr); err != nil {
+				t.Fatalf("%s: %v", tr.App, err)
+			}
+		}
+	}
+}
+
+// TestEngineEstEquivalence pins the est dispatch itself: both engines
+// through the profile wrapper, same bits.
+func TestEngineEstEquivalence(t *testing.T) {
+	r := stats.NewRNG(12)
+	tp := newProfile(randTrace(r))
+	for _, ch := range chip.All() {
+		for _, cfg := range sampleConfigs(r, 16) {
+			ref := refEngine.est(ch, cfg, tp)
+			col := colEngine.est(ch, cfg, tp)
+			if ref != col {
+				t.Fatalf("est dispatch disagrees on %s under %s: %x vs %x", ch.Name, cfg, col, ref)
+			}
+		}
+	}
+}
+
+// TestShrinkDiffTrace exercises the greedy shrinker with an artificial
+// failure predicate: "some launch still has atomic pushes". The minimal
+// failing trace is one push-bearing launch with every other launch,
+// loop and irrelevant counter stripped.
+func TestShrinkDiffTrace(t *testing.T) {
+	r := stats.NewRNG(13)
+	tr := randTrace(r)
+	// Guarantee at least one push-bearing launch and some clutter.
+	tr.Launches = append(tr.Launches, buildLaunch("pusher", 0, []int64{4, 9}, 21, 5, 8))
+	tr.Loops = append(tr.Loops, irgl.LoopStats{ID: len(tr.Loops), Name: "clutter", Iterations: 3})
+
+	failing := func(c *irgl.Trace) bool {
+		for i := range c.Launches {
+			if c.Launches[i].AtomicPushes > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	shrunk := shrinkDiffTrace(tr, failing)
+	if !failing(shrunk) {
+		t.Fatal("shrunk trace no longer fails the predicate")
+	}
+	if len(shrunk.Launches) != 1 {
+		t.Fatalf("shrunk to %d launches, want 1", len(shrunk.Launches))
+	}
+	if len(shrunk.Loops) != 0 {
+		t.Fatalf("shrunk trace keeps %d loops, want 0", len(shrunk.Loops))
+	}
+	ks := shrunk.Launches[0]
+	if ks.AtomicPushes == 0 {
+		t.Fatal("shrunk launch lost its pushes")
+	}
+	if ks.AtomicRMWs != 0 || ks.RandomAccesses != 0 || ks.LoopID != -1 {
+		t.Fatalf("irrelevant counters not zeroed: %+v", ks)
+	}
+	// The original trace must be untouched (shrinking works on clones).
+	if tr.Launches[len(tr.Launches)-1].AtomicPushes != 21 {
+		t.Fatal("shrinker mutated its input")
+	}
+}
+
+// TestShrinkDiffTraceBudget: an exhausted budget stops the shrink
+// gracefully rather than looping or over-shrinking.
+func TestShrinkDiffTraceBudget(t *testing.T) {
+	r := stats.NewRNG(14)
+	tr := randTrace(r)
+	budget := 0
+	shrunk := shrinkDiffTrace(tr, func(*irgl.Trace) bool {
+		budget--
+		return budget >= 0 // immediately exhausted: nothing shrinks
+	})
+	if len(shrunk.Launches) != len(tr.Launches) || len(shrunk.Loops) != len(tr.Loops) {
+		t.Fatalf("budget-exhausted shrink changed the trace: %d/%d launches, %d/%d loops",
+			len(shrunk.Launches), len(tr.Launches), len(shrunk.Loops), len(tr.Loops))
+	}
+}
+
+// TestColumnarTwinRegistry pins the registry construction: every
+// engine-scoped base property has exactly one -columnar twin, the
+// engine-free ones have none, and the differential is registered.
+func TestColumnarTwinRegistry(t *testing.T) {
+	byName := map[string]Property{}
+	for _, p := range Properties() {
+		byName[p.Name] = p
+	}
+	for _, p := range baseProperties() {
+		twin, ok := byName[p.Name+"-columnar"]
+		if p.engineFree {
+			if ok {
+				t.Errorf("engine-free property %s has a columnar twin", p.Name)
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("property %s has no columnar twin", p.Name)
+			continue
+		}
+		if twin.eng != colEngine {
+			t.Errorf("twin %s does not evaluate the columnar engine", twin.Name)
+		}
+		if byName[p.Name].eng != refEngine {
+			t.Errorf("base %s does not evaluate the reference engine", p.Name)
+		}
+	}
+	if _, ok := byName["engine-columnar-differential"]; !ok {
+		t.Error("differential property not registered")
+	}
+}

@@ -6,7 +6,6 @@ import (
 
 	"gpuport/internal/apps"
 	"gpuport/internal/chip"
-	"gpuport/internal/cost"
 	"gpuport/internal/graph"
 	"gpuport/internal/irgl"
 	"gpuport/internal/opt"
@@ -39,13 +38,45 @@ import (
 type Property struct {
 	Name string
 	Doc  string
-	// Check runs up to trials randomized probes from r, returning an
-	// error describing the first violation.
-	Check func(r *stats.RNG, trials int) error
+	// Check runs up to trials randomized probes from r through the
+	// given cost engine, returning an error describing the first
+	// violation. Engine-independent checks ignore the engine.
+	Check func(e engine, r *stats.RNG, trials int) error
+	// eng is the cost engine this registry instance evaluates.
+	eng engine
+	// engineFree marks checks that never consult the cost engine, so
+	// no columnar twin is registered for them.
+	engineFree bool
 }
 
-// Properties returns the registry in canonical (report) order.
+// Properties returns the registry in canonical (report) order: the
+// historical reference-engine properties first (names unchanged), then
+// a "-columnar" twin of every engine-scoped property evaluating the
+// columnar engine, then the reference-vs-columnar differential. Twins
+// draw independent seed streams (propSeed is keyed by name), so adding
+// them shifts nothing the reference instances observe.
 func Properties() []Property {
+	base := baseProperties()
+	out := append([]Property{}, base...)
+	for _, p := range base {
+		if p.engineFree {
+			continue
+		}
+		p.Name += "-columnar"
+		p.Doc += " (columnar engine)"
+		p.eng = colEngine
+		out = append(out, p)
+	}
+	out = append(out, Property{
+		Name:  "engine-columnar-differential",
+		Doc:   "reference and columnar cost engines produce bit-identical model times on randomized traces across every chip and configuration, shrinking any mismatch to a minimal trace",
+		Check: checkEngineDifferential,
+	})
+	return out
+}
+
+// baseProperties returns the reference-engine registry.
+func baseProperties() []Property {
 	return []Property{
 		{
 			Name:  "cost-finite-positive",
@@ -68,14 +99,16 @@ func Properties() []Property {
 			Check: checkLoopIteration,
 		},
 		{
-			Name:  "cost-item-order-invariant",
-			Doc:   "runtime accounting and cost are invariant to the order items are processed in",
-			Check: checkItemOrder,
+			Name:       "cost-item-order-invariant",
+			Doc:        "runtime accounting and cost are invariant to the order items are processed in",
+			Check:      checkItemOrder,
+			engineFree: true,
 		},
 		{
-			Name:  "app-trace-permutation-invariant",
-			Doc:   "node-ID permutation leaves the traces of order-robust applications identical",
-			Check: checkPermInvariant,
+			Name:       "app-trace-permutation-invariant",
+			Doc:        "node-ID permutation leaves the traces of order-robust applications identical",
+			Check:      checkPermInvariant,
+			engineFree: true,
 		},
 		{
 			Name:  "flag-oitergb-scope",
@@ -147,10 +180,6 @@ func Properties() []Property {
 
 // --- shared helpers ---
 
-func est(ch chip.Chip, cfg opt.Config, tp *cost.TraceProfile) float64 {
-	return cost.Estimate(ch, cfg, tp)
-}
-
 // sampleConfigs returns the baseline plus k distinct configurations
 // drawn deterministically from the full space.
 func sampleConfigs(r *stats.RNG, k int) []opt.Config {
@@ -174,13 +203,13 @@ func forEachChip(fn func(ch chip.Chip) error) error {
 
 // --- cost-model metamorphic invariants ---
 
-func checkFinitePositive(r *stats.RNG, trials int) error {
+func checkFinitePositive(e engine, r *stats.RNG, trials int) error {
 	for t := 0; t < trials; t++ {
-		tp := cost.NewTraceProfile(randTrace(r))
+		tp := newProfile(randTrace(r))
 		cfgs := sampleConfigs(r, 12)
 		err := forEachChip(func(ch chip.Chip) error {
 			for _, cfg := range cfgs {
-				v := est(ch, cfg, tp)
+				v := e.est(ch, cfg, tp)
 				if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
 					return fmt.Errorf("trial %d: cost %v on %s under %s", t, v, ch.Name, cfg)
 				}
@@ -194,21 +223,21 @@ func checkFinitePositive(r *stats.RNG, trials int) error {
 	return nil
 }
 
-func checkEmptyLaunch(r *stats.RNG, trials int) error {
+func checkEmptyLaunch(e engine, r *stats.RNG, trials int) error {
 	// One probe suffices: the trace is fully determined. Keep the trial
 	// loop shape anyway so the property scales like the others.
 	_ = r
 	tr := &irgl.Trace{App: "conform-empty", Input: "synth"}
 	tr.Launches = append(tr.Launches, buildLaunch("empty", -1, nil, 0, 0, 0))
-	tp := cost.NewTraceProfile(tr)
+	tp := newProfile(tr)
 	_ = trials
 	return forEachChip(func(ch chip.Chip) error {
-		base := est(ch, opt.Config{}, tp)
+		base := e.est(ch, opt.Config{}, tp)
 		if base <= 0 {
 			return fmt.Errorf("empty launch costs %v on %s, want > 0 (launch latency)", base, ch.Name)
 		}
 		for _, cfg := range opt.All() {
-			if v := est(ch, cfg, tp); v != base {
+			if v := e.est(ch, cfg, tp); v != base {
 				return fmt.Errorf("empty launch on %s costs %v under %s but %v at baseline", ch.Name, v, cfg, base)
 			}
 		}
@@ -216,7 +245,7 @@ func checkEmptyLaunch(r *stats.RNG, trials int) error {
 	})
 }
 
-func checkLaunchAppend(r *stats.RNG, trials int) error {
+func checkLaunchAppend(e engine, r *stats.RNG, trials int) error {
 	for t := 0; t < trials; t++ {
 		tr := randTrace(r)
 		var extra irgl.KernelStats
@@ -234,11 +263,11 @@ func checkLaunchAppend(r *stats.RNG, trials int) error {
 			Launches: append(append([]irgl.KernelStats{}, tr.Launches...), extra),
 			Loops:    tr.Loops,
 		}
-		tp1, tp2 := cost.NewTraceProfile(tr), cost.NewTraceProfile(t2)
+		tp1, tp2 := newProfile(tr), newProfile(t2)
 		cfgs := sampleConfigs(r, 10)
 		err := forEachChip(func(ch chip.Chip) error {
 			for _, cfg := range cfgs {
-				v1, v2 := est(ch, cfg, tp1), est(ch, cfg, tp2)
+				v1, v2 := e.est(ch, cfg, tp1), e.est(ch, cfg, tp2)
 				if !(v2 > v1) {
 					return fmt.Errorf("trial %d: appending a launch on %s under %s: %v -> %v, want strict increase", t, ch.Name, cfg, v1, v2)
 				}
@@ -252,7 +281,7 @@ func checkLaunchAppend(r *stats.RNG, trials int) error {
 	return nil
 }
 
-func checkLoopIteration(r *stats.RNG, trials int) error {
+func checkLoopIteration(e engine, r *stats.RNG, trials int) error {
 	for t := 0; t < trials; t++ {
 		tr := randTrace(r)
 		if len(tr.Loops) == 0 {
@@ -261,11 +290,11 @@ func checkLoopIteration(r *stats.RNG, trials int) error {
 		loops2 := append([]irgl.LoopStats{}, tr.Loops...)
 		loops2[r.Intn(len(loops2))].Iterations++
 		t2 := &irgl.Trace{App: tr.App, Input: tr.Input, Launches: tr.Launches, Loops: loops2}
-		tp1, tp2 := cost.NewTraceProfile(tr), cost.NewTraceProfile(t2)
+		tp1, tp2 := newProfile(tr), newProfile(t2)
 		cfgs := sampleConfigs(r, 10)
 		err := forEachChip(func(ch chip.Chip) error {
 			for _, cfg := range cfgs {
-				v1, v2 := est(ch, cfg, tp1), est(ch, cfg, tp2)
+				v1, v2 := e.est(ch, cfg, tp1), e.est(ch, cfg, tp2)
 				if cfg.OiterGB {
 					// Outlined loops dispatch once; iteration count must
 					// not leak into the cost.
@@ -285,7 +314,7 @@ func checkLoopIteration(r *stats.RNG, trials int) error {
 	return nil
 }
 
-func checkItemOrder(r *stats.RNG, trials int) error {
+func checkItemOrder(_ engine, r *stats.RNG, trials int) error {
 	for t := 0; t < trials; t++ {
 		works := worksSkewed(r, 1+r.Intn(200))
 		shuffled := make([]int64, len(works))
@@ -329,7 +358,7 @@ func genPermGraph(r *stats.RNG) *graph.Graph {
 	return b.Build()
 }
 
-func checkPermInvariant(r *stats.RNG, trials int) error {
+func checkPermInvariant(_ engine, r *stats.RNG, trials int) error {
 	n := trials/4 + 1
 	var appList []apps.App
 	for _, name := range permApps {
@@ -382,16 +411,16 @@ func noLoopTrace(r *stats.RNG) *irgl.Trace {
 	return t
 }
 
-func checkOiterGBScope(r *stats.RNG, trials int) error {
+func checkOiterGBScope(e engine, r *stats.RNG, trials int) error {
 	for t := 0; t < trials; t++ {
-		tp := cost.NewTraceProfile(noLoopTrace(r))
+		tp := newProfile(noLoopTrace(r))
 		err := forEachChip(func(ch chip.Chip) error {
 			for _, cfg := range opt.All() {
 				if cfg.OiterGB {
 					continue
 				}
-				v1 := est(ch, cfg, tp)
-				v2 := est(ch, cfg.With(opt.FlagOiterGB, true), tp)
+				v1 := e.est(ch, cfg, tp)
+				v2 := e.est(ch, cfg.With(opt.FlagOiterGB, true), tp)
 				if v1 != v2 {
 					return fmt.Errorf("trial %d: oitergb changed a loop-free trace on %s under %s: %v -> %v", t, ch.Name, cfg, v1, v2)
 				}
@@ -405,20 +434,20 @@ func checkOiterGBScope(r *stats.RNG, trials int) error {
 	return nil
 }
 
-func checkCoopCVScope(r *stats.RNG, trials int) error {
+func checkCoopCVScope(e engine, r *stats.RNG, trials int) error {
 	for t := 0; t < trials; t++ {
 		tr := randTrace(r)
 		for i := range tr.Launches {
 			tr.Launches[i].AtomicPushes = 0
 		}
-		tp := cost.NewTraceProfile(tr)
+		tp := newProfile(tr)
 		err := forEachChip(func(ch chip.Chip) error {
 			for _, cfg := range opt.All() {
 				if cfg.CoopCV {
 					continue
 				}
-				v1 := est(ch, cfg, tp)
-				v2 := est(ch, cfg.With(opt.FlagCoopCV, true), tp)
+				v1 := e.est(ch, cfg, tp)
+				v2 := e.est(ch, cfg.With(opt.FlagCoopCV, true), tp)
 				if v1 != v2 {
 					return fmt.Errorf("trial %d: coop-cv changed a push-free trace on %s under %s: %v -> %v", t, ch.Name, cfg, v1, v2)
 				}
@@ -432,7 +461,7 @@ func checkCoopCVScope(r *stats.RNG, trials int) error {
 	return nil
 }
 
-func checkNPScope(r *stats.RNG, trials int) error {
+func checkNPScope(e engine, r *stats.RNG, trials int) error {
 	for t := 0; t < trials; t++ {
 		// Trivial kernels: every item does zero or one unit of work, so
 		// there is no inner loop for sg/wg/fg to rewrite.
@@ -440,12 +469,12 @@ func checkNPScope(r *stats.RNG, trials int) error {
 		tr := &irgl.Trace{App: "conform-trivial", Input: "synth"}
 		total := sumWorks(works)
 		tr.Launches = append(tr.Launches, buildLaunch("k", -1, works, 0, total, total))
-		tp := cost.NewTraceProfile(tr)
+		tp := newProfile(tr)
 		err := forEachChip(func(ch chip.Chip) error {
 			for _, cfg := range opt.All() {
 				stripped := cfg
 				stripped.SG, stripped.WG, stripped.FG = false, false, opt.FGOff
-				v1, v2 := est(ch, stripped, tp), est(ch, cfg, tp)
+				v1, v2 := e.est(ch, stripped, tp), e.est(ch, cfg, tp)
 				if v1 != v2 {
 					return fmt.Errorf("trial %d: nested parallelism changed a trivial kernel on %s under %s: %v vs %v", t, ch.Name, cfg, v1, v2)
 				}
@@ -463,13 +492,13 @@ func checkNPScope(r *stats.RNG, trials int) error {
 
 // checkParamLive asserts that scaling one chip parameter x10 strictly
 // increases the cost of a workload built to exercise it, on every chip.
-func checkParamLive(r *stats.RNG, trials int, param string, scale func(*chip.Chip), mk func(*stats.RNG) *irgl.Trace, cfg opt.Config) error {
+func checkParamLive(e engine, r *stats.RNG, trials int, param string, scale func(*chip.Chip), mk func(*stats.RNG) *irgl.Trace, cfg opt.Config) error {
 	for t := 0; t < trials; t++ {
-		tp := cost.NewTraceProfile(mk(r))
+		tp := newProfile(mk(r))
 		err := forEachChip(func(ch chip.Chip) error {
 			scaledCh := ch
 			scale(&scaledCh)
-			v1, v2 := est(ch, cfg, tp), est(scaledCh, cfg, tp)
+			v1, v2 := e.est(ch, cfg, tp), e.est(scaledCh, cfg, tp)
 			if !(v2 > v1) {
 				return fmt.Errorf("trial %d: scaling %s x10 on %s under %s: %v -> %v, want strict increase (dead cost term?)", t, param, ch.Name, cfg, v1, v2)
 			}
@@ -482,37 +511,37 @@ func checkParamLive(r *stats.RNG, trials int, param string, scale func(*chip.Chi
 	return nil
 }
 
-func checkLaunchLatencyLive(r *stats.RNG, trials int) error {
-	return checkParamLive(r, trials, "LaunchNS",
+func checkLaunchLatencyLive(e engine, r *stats.RNG, trials int) error {
+	return checkParamLive(e, r, trials, "LaunchNS",
 		func(c *chip.Chip) { c.LaunchNS *= 10 },
 		noLoopTrace, opt.Config{})
 }
 
-func checkCopyLive(r *stats.RNG, trials int) error {
+func checkCopyLive(e engine, r *stats.RNG, trials int) error {
 	mk := func(r *stats.RNG) *irgl.Trace {
 		t := &irgl.Trace{App: "conform-loopy", Input: "synth"}
 		t.Loops = append(t.Loops, irgl.LoopStats{ID: 0, Name: "loop", Iterations: int64(1 + r.Intn(30))})
 		t.Launches = append(t.Launches, randLaunch(r, "k", 0))
 		return t
 	}
-	return checkParamLive(r, trials, "CopyNS",
+	return checkParamLive(e, r, trials, "CopyNS",
 		func(c *chip.Chip) { c.CopyNS *= 10 },
 		mk, opt.Config{})
 }
 
-func checkDivergenceLive(r *stats.RNG, trials int) error {
+func checkDivergenceLive(e engine, r *stats.RNG, trials int) error {
 	mk := func(r *stats.RNG) *irgl.Trace {
 		works := worksUniform(r, 20+r.Intn(200), 1, 12)
 		t := &irgl.Trace{App: "conform-div", Input: "synth"}
 		t.Launches = append(t.Launches, buildLaunch("k", -1, works, 0, 0, sumWorks(works)))
 		return t
 	}
-	return checkParamLive(r, trials, "DivergencePenaltyNS",
+	return checkParamLive(e, r, trials, "DivergencePenaltyNS",
 		func(c *chip.Chip) { c.DivergencePenaltyNS *= 10 },
 		mk, opt.Config{})
 }
 
-func checkWGBarrierLive(r *stats.RNG, trials int) error {
+func checkWGBarrierLive(e engine, r *stats.RNG, trials int) error {
 	mk := func(r *stats.RNG) *irgl.Trace {
 		works := worksSkewed(r, 50+r.Intn(150))
 		works = append(works, 200) // guarantee an inner loop to rewrite
@@ -522,13 +551,13 @@ func checkWGBarrierLive(r *stats.RNG, trials int) error {
 	}
 	// wg alone routes every bucket through the workgroup scheme, so the
 	// barrier surcharge is guaranteed to appear.
-	return checkParamLive(r, trials, "WorkgroupBarrierNS",
+	return checkParamLive(e, r, trials, "WorkgroupBarrierNS",
 		func(c *chip.Chip) { c.WorkgroupBarrierNS *= 10 },
 		mk, opt.Config{WG: true})
 }
 
-func checkAtomicLive(r *stats.RNG, trials int) error {
-	return checkParamLive(r, trials, "AtomicNS",
+func checkAtomicLive(e engine, r *stats.RNG, trials int) error {
+	return checkParamLive(e, r, trials, "AtomicNS",
 		func(c *chip.Chip) { c.AtomicNS *= 10 },
 		pushHeavyTrace, opt.Config{})
 }
@@ -538,13 +567,13 @@ func checkAtomicLive(r *stats.RNG, trials int) error {
 // medianRatios evaluates ratio(cost(base), cost(variant)) per chip over
 // n sampled workloads and returns the per-chip medians keyed by Table I
 // order.
-func medianRatios(r *stats.RNG, n int, mk func(*stats.RNG) *irgl.Trace, base, variant opt.Config) map[string]float64 {
+func medianRatios(e engine, r *stats.RNG, n int, mk func(*stats.RNG) *irgl.Trace, base, variant opt.Config) map[string]float64 {
 	chipsAll := chip.All()
 	samples := make(map[string][]float64, len(chipsAll))
 	for t := 0; t < n; t++ {
-		tp := cost.NewTraceProfile(mk(r))
+		tp := newProfile(mk(r))
 		for _, ch := range chipsAll {
-			samples[ch.Name] = append(samples[ch.Name], est(ch, base, tp)/est(ch, variant, tp))
+			samples[ch.Name] = append(samples[ch.Name], e.est(ch, base, tp)/e.est(ch, variant, tp))
 		}
 	}
 	out := make(map[string]float64, len(chipsAll))
@@ -562,8 +591,8 @@ func phenomenonTrials(trials int) int {
 	return n
 }
 
-func checkNvidiaCheapLaunch(r *stats.RNG, trials int) error {
-	relief := medianRatios(r, phenomenonTrials(trials), launchHeavyTrace,
+func checkNvidiaCheapLaunch(e engine, r *stats.RNG, trials int) error {
+	relief := medianRatios(e, r, phenomenonTrials(trials), launchHeavyTrace,
 		opt.Config{}, opt.Config{OiterGB: true})
 	nv := []string{chip.M4000, chip.GTX1080}
 	others := []string{chip.HD5500, chip.IRIS, chip.R9, chip.MALI}
@@ -584,15 +613,15 @@ func checkNvidiaCheapLaunch(r *stats.RNG, trials int) error {
 	return nil
 }
 
-func checkJITCoopCVOverhead(r *stats.RNG, trials int) error {
+func checkJITCoopCVOverhead(e engine, r *stats.RNG, trials int) error {
 	for t := 0; t < trials; t++ {
-		tp := cost.NewTraceProfile(pushHeavyTrace(r))
+		tp := newProfile(pushHeavyTrace(r))
 		err := forEachChip(func(ch chip.Chip) error {
 			if !ch.JITCombinesAtomics && ch.SubgroupSize > 1 {
 				return nil
 			}
-			v1 := est(ch, opt.Config{}, tp)
-			v2 := est(ch, opt.Config{CoopCV: true}, tp)
+			v1 := e.est(ch, opt.Config{}, tp)
+			v2 := e.est(ch, opt.Config{CoopCV: true}, tp)
 			if !(v2 > v1) {
 				return fmt.Errorf("trial %d: coop-cv on %s: %v -> %v, want strictly worse (combining is redundant there, only the overhead should remain)", t, ch.Name, v1, v2)
 			}
@@ -605,8 +634,8 @@ func checkJITCoopCVOverhead(r *stats.RNG, trials int) error {
 	return nil
 }
 
-func checkCombiningWins(r *stats.RNG, trials int) error {
-	speedup := medianRatios(r, phenomenonTrials(trials), pushHeavyTrace,
+func checkCombiningWins(e engine, r *stats.RNG, trials int) error {
+	speedup := medianRatios(e, r, phenomenonTrials(trials), pushHeavyTrace,
 		opt.Config{}, opt.Config{CoopCV: true})
 	for _, ch := range chip.All() {
 		s := speedup[ch.Name]
@@ -636,8 +665,8 @@ func uniformDivTrace(r *stats.RNG) *irgl.Trace {
 	return t
 }
 
-func checkMALIDivergenceRelief(r *stats.RNG, trials int) error {
-	relief := medianRatios(r, phenomenonTrials(trials), uniformDivTrace,
+func checkMALIDivergenceRelief(e engine, r *stats.RNG, trials int) error {
+	relief := medianRatios(e, r, phenomenonTrials(trials), uniformDivTrace,
 		opt.Config{}, opt.Config{SG: true})
 	mali := relief[chip.MALI]
 	if mali <= 1 {
@@ -658,16 +687,16 @@ func checkMALIDivergenceRelief(r *stats.RNG, trials int) error {
 	return nil
 }
 
-func checkJITLoadBearing(r *stats.RNG, trials int) error {
+func checkJITLoadBearing(e engine, r *stats.RNG, trials int) error {
 	for t := 0; t < trials; t++ {
-		tp := cost.NewTraceProfile(pushHeavyTrace(r))
+		tp := newProfile(pushHeavyTrace(r))
 		err := forEachChip(func(ch chip.Chip) error {
 			if !ch.JITCombinesAtomics {
 				return nil
 			}
 			noJIT := ch
 			noJIT.JITCombinesAtomics = false
-			v1, v2 := est(ch, opt.Config{}, tp), est(noJIT, opt.Config{}, tp)
+			v1, v2 := e.est(ch, opt.Config{}, tp), e.est(noJIT, opt.Config{}, tp)
 			if !(v2 > v1) {
 				return fmt.Errorf("trial %d: disabling JIT combining on %s: %v -> %v, want strictly worse (the JIT's combining must be load-bearing)", t, ch.Name, v1, v2)
 			}

@@ -14,7 +14,7 @@ func TestEachPropertyPassesIndividually(t *testing.T) {
 	for _, p := range Properties() {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
-			if err := p.Check(stats.NewRNG(propSeed(2, p.Name)), 15); err != nil {
+			if err := p.Check(p.eng, stats.NewRNG(propSeed(2, p.Name)), 15); err != nil {
 				t.Errorf("%s: %v", p.Name, err)
 			}
 		})
@@ -26,8 +26,8 @@ func TestEachPropertyPassesIndividually(t *testing.T) {
 // depends on it).
 func TestPropertyChecksDeterministic(t *testing.T) {
 	for _, p := range Properties() {
-		e1 := p.Check(stats.NewRNG(propSeed(4, p.Name)), 8)
-		e2 := p.Check(stats.NewRNG(propSeed(4, p.Name)), 8)
+		e1 := p.Check(p.eng, stats.NewRNG(propSeed(4, p.Name)), 8)
+		e2 := p.Check(p.eng, stats.NewRNG(propSeed(4, p.Name)), 8)
 		s1, s2 := "", ""
 		if e1 != nil {
 			s1 = e1.Error()

@@ -1,0 +1,38 @@
+package cost
+
+// The exported tuning surface. The columnar engine
+// (internal/cost/columnar) replays launchCost's arithmetic with a
+// different evaluation schedule and must use the very same constants
+// and helper the reference uses: aliasing them here (rather than
+// duplicating the values) makes divergence impossible by construction.
+const (
+	// FG1Residual / FG8Residual: residual excess imbalance after fg
+	// linearises the iteration space.
+	FG1Residual = fg1Residual
+	FG8Residual = fg8Residual
+
+	// FG1DivRelief / FG8DivRelief: divergence relief from the
+	// coalesced access pattern fg induces.
+	FG1DivRelief = fg1DivRelief
+	FG8DivRelief = fg8DivRelief
+
+	// InspectWorkPerItem: inspector cost per work-item per enabled
+	// nested-parallelism scheme, in work units.
+	InspectWorkPerItem = inspectWorkPerItem
+
+	// BarriersPerItem: group synchronisations per redistributed item.
+	BarriersPerItem = barriersPerItem
+
+	// DriftFloor: minimum barrier-relief drift scale.
+	DriftFloor = driftFloor
+
+	// MinUtilisation: minimum launch utilisation.
+	MinUtilisation = minUtilisation
+)
+
+// CoopLaneWork exposes the cooperative lane-occupancy cost helper to
+// the columnar engine. Both engines must compute redistribution waste
+// through this one function so their results stay bit-identical.
+func CoopLaneWork(r float64, width int) float64 {
+	return coopLaneWork(r, width)
+}

@@ -24,6 +24,7 @@ import (
 	"gpuport/internal/apps"
 	"gpuport/internal/chip"
 	"gpuport/internal/cost"
+	"gpuport/internal/cost/columnar"
 	"gpuport/internal/dataset"
 	"gpuport/internal/fault"
 	"gpuport/internal/graph"
@@ -69,6 +70,13 @@ type Options struct {
 	// CheckpointEvery flushes the checkpoint after this many completed
 	// (chip, trace) jobs (default 4).
 	CheckpointEvery int
+
+	// ReferenceCost forces the sweep through the reference
+	// cost.Estimate path instead of the columnar engine
+	// (internal/cost/columnar). The dataset is bit-identical either
+	// way - the conform differential property enforces it - so the
+	// switch exists only for benchmarking and triage.
+	ReferenceCost bool
 
 	// TraceCache, when non-nil, short-circuits the trace phase through
 	// the content-addressed store: pairs whose traces are cached skip
@@ -134,8 +142,11 @@ func Collect(o Options) (*dataset.Dataset, error) {
 // CollectReport produces the dataset for the configured sweep plus a
 // report accounting for every cell: measured, resumed from checkpoint,
 // retried, or missing with the fault kind that killed it. Cost
-// evaluation is parallelised across (chip, trace) pairs; the assembled
-// dataset is bit-identical regardless of parallelism because every
+// evaluation runs on the columnar engine - traces are converted to
+// columns once and reused across the full config x chip x sample grid -
+// unless o.ReferenceCost selects the reference path; both produce the
+// same bits. Evaluation is parallelised across (chip, trace) pairs; the
+// assembled dataset is bit-identical regardless of parallelism because every
 // record is written to a pre-assigned slot and both the noise and the
 // fault streams are keyed per cell, not sequential.
 //
@@ -148,6 +159,15 @@ func CollectReport(o Options) (*dataset.Dataset, *Report, error) {
 	profiles, err := Traces(o)
 	if err != nil {
 		return nil, nil, err
+	}
+	// Columnar form of every trace, built once per (app, input) and
+	// shared read-only across the whole config x chip x sample grid.
+	var cols []*columnar.Columns
+	if !o.ReferenceCost {
+		cols = make([]*columnar.Columns, len(profiles))
+		for i, tp := range profiles {
+			cols[i] = columnar.Build(tp)
+		}
 	}
 	stopSweep := o.Obs.Start(obs.StageSweep)
 	sweepSpan := o.Obs.StartSpan(obs.StageSweep, 0)
@@ -220,6 +240,11 @@ func CollectReport(o Options) (*dataset.Dataset, *Report, error) {
 				out := records[ji*nc : (ji+1)*nc]
 				st := cells[ji*nc : (ji+1)*nc]
 				fresh := false
+				// The evaluator applies the chip to the shared columns;
+				// built lazily so fully resumed or faulted jobs never
+				// pay for it, and per-goroutine because its shape memo
+				// is unguarded.
+				var ev *columnar.Evaluator
 				for k, cfg := range configs {
 					dkey := dataset.Key{
 						Tuple:  dataset.Tuple{Chip: ch.Name, App: tp.App, Input: tp.Input},
@@ -265,7 +290,15 @@ func CollectReport(o Options) (*dataset.Dataset, *Report, error) {
 						out[k] = dataset.Record{Key: dkey, Samples: prior}
 						continue
 					}
-					base := cost.Estimate(ch, cfg, tp)
+					var base float64
+					if o.ReferenceCost {
+						base = cost.Estimate(ch, cfg, tp)
+					} else {
+						if ev == nil {
+							ev = columnar.NewEvaluator(ch, cols[jobs[ji].traceIdx])
+						}
+						base = ev.Estimate(cfg)
+					}
 					if factors == nil {
 						factors = fault.NoiseFactors(key, 0, o.Runs, ch.NoiseSigma)
 					}

@@ -74,6 +74,40 @@ func TestCollectDeterministic(t *testing.T) {
 	}
 }
 
+// TestReferenceCostBitIdentical proves the engine switch is invisible:
+// the dataset collected through the columnar engine (the default) is
+// bit-identical to one collected through the reference cost path.
+func TestReferenceCostBitIdentical(t *testing.T) {
+	columnarOpts := smallOptions()
+	refOpts := smallOptions()
+	refOpts.ReferenceCost = true
+	a, err := Collect(columnarOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Collect(refOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("record counts differ: %d vs %d", a.Len(), b.Len())
+	}
+	for _, tp := range a.Tuples() {
+		for _, cfg := range opt.All() {
+			sa, sb := a.Samples(tp, cfg), b.Samples(tp, cfg)
+			if len(sa) != len(sb) {
+				t.Fatalf("%v/%v: sample counts differ", tp, cfg)
+			}
+			for i := range sa {
+				if sa[i] != sb[i] {
+					t.Fatalf("%v/%v sample %d: columnar %x != reference %x",
+						tp, cfg, i, sa[i], sb[i])
+				}
+			}
+		}
+	}
+}
+
 func TestSeedChangesNoiseNotScale(t *testing.T) {
 	o1 := smallOptions()
 	o2 := smallOptions()

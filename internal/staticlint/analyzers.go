@@ -19,6 +19,12 @@ func DefaultConfig() Config {
 			// The cost model: conform properties and the study's tables
 			// assume Estimate is a pure function of its arguments.
 			"gpuport/internal/cost.Estimate",
+			// The columnar engine: measure's datasets are bit-identical
+			// to the reference path only if build, chip application and
+			// per-config assembly are all deterministic.
+			"gpuport/internal/cost/columnar.Build",
+			"gpuport/internal/cost/columnar.NewEvaluator",
+			"gpuport/internal/cost/columnar.Evaluator.Estimate",
 			// Content addressing: a fingerprint that drifts invalidates
 			// every cached trace.
 			"gpuport/internal/graph.Graph.Fingerprint",

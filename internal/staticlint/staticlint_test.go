@@ -223,6 +223,9 @@ func TestOutputStability(t *testing.T) {
 func TestProofSetNames(t *testing.T) {
 	want := []string{
 		"gpuport/internal/cost.Estimate",
+		"gpuport/internal/cost/columnar.Build",
+		"gpuport/internal/cost/columnar.NewEvaluator",
+		"gpuport/internal/cost/columnar.Evaluator.Estimate",
 		"gpuport/internal/graph.Graph.Fingerprint",
 		"gpuport/internal/tracecache.appendHeader",
 		"gpuport/internal/tracecache.decodeEntry",
