@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build fmt-check lint staticgate test race conform conform-mutate fuzz cover ci bench bench-fault bench-trace bench-obs bench-cost bench-ci profile clean
+.PHONY: all vet build fmt-check lint staticgate test race conform conform-mutate fuzz cover ci bench bench-fault bench-trace bench-obs bench-cost bench-ci profile serve-smoke clean
 
 # BENCHMD, when set, makes every benchcheck invocation append its
 # markdown results table (benchmark, ns/op, gate, verdict) to that
@@ -79,11 +79,20 @@ cover:
 		-floor gpuport/internal/cost,92 \
 		-floor gpuport/internal/cost/columnar,95 \
 		-floor gpuport/internal/irgl,89 \
+		-floor gpuport/internal/server,85 \
 		-floor gpuport/internal/staticlint,90
 	@rm -f cover.out
 
 # ci is the full gate: everything a change must pass before merging.
 ci: vet build fmt-check lint staticgate test race conform conform-mutate cover
+
+# serve-smoke boots gpuportd, drives a full campaign over real HTTP,
+# polls it to completion and diffs the served CSV against the gpuport
+# CLI's dataset for the same seed - the end-to-end proof that the
+# daemon is a pure transport. Leaves gpuportd-metrics.prom and
+# gpuportd-obs-trace.json behind for upload.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem .

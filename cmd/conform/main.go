@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -42,6 +43,7 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list registered property names and exit")
 	repro := fs.String("repro", "", "trial seed (decimal or 0x hex) to reproduce: print the graph and re-run the apps on it")
 	out := fs.String("o", "", "write the JSON report to this file instead of stdout")
+	serverDiff := fs.Int("server-diff", 0, "also run N trials of the server/CLI campaign differential (0 = off; does not affect the JSON report)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,6 +84,12 @@ func run(args []string) error {
 	summarize(os.Stderr, rep)
 	if rep.Failures > 0 {
 		return fmt.Errorf("%d conformance failure(s)", rep.Failures)
+	}
+	if *serverDiff > 0 {
+		if err := conform.ServerCampaignDifferential(context.Background(), *seed, *serverDiff); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "conform: server/CLI campaign differential: %d trials, all byte-identical\n", *serverDiff)
 	}
 	return nil
 }

@@ -1,0 +1,49 @@
+package conform
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"gpuport/internal/server"
+	"gpuport/internal/stats"
+)
+
+// TestServerCampaignDifferential runs the server/CLI pillar with a
+// small trial budget; the full budget runs from cmd/conform.
+func TestServerCampaignDifferential(t *testing.T) {
+	if err := ServerCampaignDifferential(context.Background(), 42, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomCampaignSpecValid proves every spec the differential can
+// draw resolves: the generator and the validator cannot drift apart.
+func TestRandomCampaignSpecValid(t *testing.T) {
+	r := stats.NewRNG(propSeed(1, "server-campaign-differential"))
+	var specs []server.Spec
+	for i := 0; i < 40; i++ {
+		specs = append(specs, randomCampaignSpec(r))
+	}
+	for i, spec := range specs {
+		if _, _, err := spec.Resolve(); err != nil {
+			t.Fatalf("spec %d does not resolve: %v (%+v)", i, err, spec)
+		}
+	}
+}
+
+// TestRandomCampaignSpecDeterministic pins the seed discipline: equal
+// seeds draw equal spec streams.
+func TestRandomCampaignSpecDeterministic(t *testing.T) {
+	a := stats.NewRNG(propSeed(7, "server-campaign-differential"))
+	b := stats.NewRNG(propSeed(7, "server-campaign-differential"))
+	for i := 0; i < 50; i++ {
+		x, y := randomCampaignSpec(a), randomCampaignSpec(b)
+		if strings.Join(x.Chips, ",") != strings.Join(y.Chips, ",") ||
+			x.Seed != y.Seed || x.Apps[0] != y.Apps[0] ||
+			x.Inputs[0] != y.Inputs[0] ||
+			strings.Join(x.Configs, ";") != strings.Join(y.Configs, ";") {
+			t.Fatalf("draw %d diverged: %+v vs %+v", i, x, y)
+		}
+	}
+}

@@ -221,11 +221,15 @@ func Parse(spec string) (*Profile, error) {
 			return nil, fmt.Errorf("fault: unknown spec key %q", key)
 		}
 	}
-	for name, rate := range map[string]float64{
-		"transient": p.Transient, "hang": p.Hang, "corrupt": p.Corrupt, "dropout": p.Dropout,
-	} {
-		if rate > 1 {
-			return nil, fmt.Errorf("fault: %s rate %v exceeds 1", name, rate)
+	rates := []struct {
+		name string
+		rate float64
+	}{
+		{"transient", p.Transient}, {"hang", p.Hang}, {"corrupt", p.Corrupt}, {"dropout", p.Dropout},
+	}
+	for _, r := range rates {
+		if r.rate > 1 {
+			return nil, fmt.Errorf("fault: %s rate %v exceeds 1", r.name, r.rate)
 		}
 	}
 	if p.Transient+p.Hang > 1 {

@@ -20,6 +20,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"gpuport/internal/apps"
 	"gpuport/internal/chip"
@@ -44,9 +45,23 @@ type Options struct {
 	Chips  []chip.Chip
 	Apps   []apps.App
 	Inputs []*graph.Graph
+	// Configs restricts the optimisation-configuration axis; nil means
+	// the full 96-configuration grid. Because both the noise and the
+	// fault streams are keyed per cell (not sequential), a subspace
+	// sweep produces bit-for-bit the same samples as the matching cells
+	// of a full-grid sweep under the same seed.
+	Configs []opt.Config
 	// Progress, when non-nil, receives one line per (app, input) pair
 	// as traces are gathered. Write errors abort the run.
 	Progress io.Writer
+	// Notify, when non-nil, receives coarse progress events as the run
+	// advances: phase is obs.StageTrace or obs.StageSweep, done/total
+	// count completed units (trace pairs, (chip, trace) sweep jobs).
+	// It is called concurrently from worker goroutines and must be
+	// safe for concurrent use; done counts are monotonic per phase but
+	// the interleaving across phases is scheduling-dependent, so
+	// notifications feed progress displays, never datasets.
+	Notify func(phase string, done, total int)
 	// Validate re-checks every application output against its
 	// reference implementation while tracing.
 	Validate bool
@@ -90,6 +105,25 @@ type Options struct {
 }
 
 func (o *Options) fill() {
+	o.fillGrid()
+	if o.Ctx == nil {
+		//lint:allow ctxprop Options.fill is the documented default for callers that pass no context
+		o.Ctx = context.Background()
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 4
+	}
+	if o.Obs == nil {
+		o.Obs = obs.New()
+	}
+}
+
+// fillGrid resolves the semantic sweep grid (the campaign's identity:
+// what is measured, under which seed and policy) without touching the
+// runtime bindings (context, recorder, cache, workers). Split from
+// fill so Campaign.Fingerprint can normalise identity without
+// allocating execution resources.
+func (o *Options) fillGrid() {
 	if o.Runs == 0 {
 		o.Runs = 3
 	}
@@ -102,15 +136,8 @@ func (o *Options) fill() {
 	if o.Inputs == nil {
 		o.Inputs = graph.StandardInputs()
 	}
-	if o.Ctx == nil {
-		//lint:allow ctxprop Options.fill is the documented default for callers that pass no context
-		o.Ctx = context.Background()
-	}
-	if o.CheckpointEvery <= 0 {
-		o.CheckpointEvery = 4
-	}
-	if o.Obs == nil {
-		o.Obs = obs.New()
+	if o.Configs == nil {
+		o.Configs = opt.All()
 	}
 }
 
@@ -171,7 +198,7 @@ func CollectReport(o Options) (*dataset.Dataset, *Report, error) {
 	}
 	stopSweep := o.Obs.Start(obs.StageSweep)
 	sweepSpan := o.Obs.StartSpan(obs.StageSweep, 0)
-	configs := opt.All()
+	configs := o.Configs
 	nc := len(configs)
 
 	type job struct{ chipIdx, traceIdx int }
@@ -213,6 +240,7 @@ func CollectReport(o Options) (*dataset.Dataset, *Report, error) {
 		workers = 1
 	}
 	var wg sync.WaitGroup
+	var jobsDone atomic.Int64
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -319,6 +347,9 @@ func CollectReport(o Options) (*dataset.Dataset, *Report, error) {
 				jobSpan.End()
 				if ck != nil && fresh {
 					ck.appendJob(out, st)
+				}
+				if o.Notify != nil {
+					o.Notify(obs.StageSweep, int(jobsDone.Add(1)), len(jobs))
 				}
 			}
 		}(w)

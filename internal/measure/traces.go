@@ -6,6 +6,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"gpuport/internal/apps"
 	"gpuport/internal/cost"
@@ -122,6 +123,7 @@ func Traces(o Options) ([]*cost.TraceProfile, error) {
 
 	results := make([]*cost.TraceProfile, len(pairs))
 	prog := newOrderedProgress(o.Progress, len(pairs))
+	var pairsDone atomic.Int64
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -157,6 +159,9 @@ func Traces(o Options) ([]*cost.TraceProfile, error) {
 				if err := prog.emit(i, fmt.Sprintf("%s %s on %s: %d launches, %d edge work\n",
 					verb, tr.App, tr.Input, tr.TotalLaunches(), tr.TotalEdgeWork())); err != nil {
 					fail(err)
+				}
+				if o.Notify != nil {
+					o.Notify(obs.StageTrace, int(pairsDone.Add(1)), len(pairs))
 				}
 			}
 		}(w)

@@ -33,6 +33,13 @@ const (
 	CtrKernelLaunches = "kernel-launches"
 	CtrEdgeWork       = "edge-work"
 	CtrAtomicPushes   = "atomic-pushes"
+	// Campaign-server job accounting (emitted by internal/server).
+	CtrJobsSubmitted = "jobs-submitted"
+	CtrJobsDeduped   = "jobs-deduped"
+	CtrJobsCached    = "jobs-result-cached"
+	CtrJobsCompleted = "jobs-completed"
+	CtrJobsFailed    = "jobs-failed"
+	CtrJobsCanceled  = "jobs-canceled"
 )
 
 // Span names.
@@ -47,6 +54,10 @@ const (
 	// timeline; its children are loop and kernel-launch spans named
 	// after the application's own loops and kernels.
 	SpanSimTimeline = "timeline"
+	// SpanCampaign covers one campaign job executed by the server's
+	// runner pool, from dequeue to terminal state, on the lane of the
+	// runner that executed it.
+	SpanCampaign = "campaign"
 )
 
 // Event names.
@@ -84,6 +95,7 @@ const (
 	AttrLoop     = "loop"
 	AttrIters    = "iterations"
 	AttrPath     = "path"
+	AttrJob      = "job"
 )
 
 // Histogram names. All histograms observe deterministic (simulated or

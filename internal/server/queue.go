@@ -1,0 +1,64 @@
+package server
+
+// queue orders runnable jobs by (priority descending, submission
+// sequence ascending). It is a plain sorted slice rather than a heap:
+// campaign counts are small (each job is a whole sweep), pop order
+// must be totally deterministic for the scheduling proof, and a slice
+// keeps remove-by-id trivial for cancelling queued jobs. Not
+// concurrency-safe; the server's mutex guards it.
+type queue struct {
+	items []*Job
+}
+
+// before reports whether a should run before b.
+func before(a, b *Job) bool {
+	if a.priority != b.priority {
+		return a.priority > b.priority
+	}
+	return a.seq < b.seq
+}
+
+// push inserts the job at its scheduling position.
+func (q *queue) push(j *Job) {
+	lo, hi := 0, len(q.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if before(q.items[mid], j) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	q.items = append(q.items, nil)
+	copy(q.items[lo+1:], q.items[lo:])
+	q.items[lo] = j
+}
+
+// pop removes and returns the next job to run, or nil when the queue
+// is empty.
+func (q *queue) pop() *Job {
+	if len(q.items) == 0 {
+		return nil
+	}
+	j := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return j
+}
+
+// remove extracts the job with the given id, or returns nil when it is
+// not queued (running and terminal jobs are not in the queue).
+func (q *queue) remove(id string) *Job {
+	for i, j := range q.items {
+		if j.id == id {
+			copy(q.items[i:], q.items[i+1:])
+			q.items[len(q.items)-1] = nil
+			q.items = q.items[:len(q.items)-1]
+			return j
+		}
+	}
+	return nil
+}
+
+// len reports the number of queued jobs.
+func (q *queue) len() int { return len(q.items) }

@@ -1,0 +1,48 @@
+package server
+
+import "testing"
+
+func qjob(id string, priority int, seq uint64) *Job {
+	return &Job{id: id, priority: priority, seq: seq}
+}
+
+// TestQueueOrder pins the scheduling proof: pop order is exactly
+// (priority descending, submission sequence ascending), regardless of
+// push order.
+func TestQueueOrder(t *testing.T) {
+	var q queue
+	q.push(qjob("c", 0, 2))
+	q.push(qjob("a", 0, 0))
+	q.push(qjob("e", 5, 4))
+	q.push(qjob("b", 0, 1))
+	q.push(qjob("d", 5, 3))
+	want := []string{"d", "e", "a", "b", "c"}
+	for i, id := range want {
+		j := q.pop()
+		if j == nil || j.id != id {
+			t.Fatalf("pop %d = %v, want %s", i, j, id)
+		}
+	}
+	if q.pop() != nil {
+		t.Fatal("pop on empty queue should be nil")
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	var q queue
+	q.push(qjob("a", 0, 0))
+	q.push(qjob("b", 0, 1))
+	q.push(qjob("c", 0, 2))
+	if j := q.remove("b"); j == nil || j.id != "b" {
+		t.Fatalf("remove(b) = %v", j)
+	}
+	if j := q.remove("b"); j != nil {
+		t.Fatalf("second remove(b) = %v, want nil", j)
+	}
+	if q.len() != 2 {
+		t.Fatalf("len = %d, want 2", q.len())
+	}
+	if a, c := q.pop(), q.pop(); a.id != "a" || c.id != "c" {
+		t.Fatalf("pop order after remove: %s, %s", a.id, c.id)
+	}
+}

@@ -1,0 +1,420 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"gpuport/internal/measure"
+	"gpuport/internal/obs"
+	"gpuport/internal/tracecache"
+)
+
+// Config wires one Server instance to its runtime resources.
+type Config struct {
+	// Ctx is the root context: cancelling it stops every runner and
+	// cancels every in-flight campaign. Required.
+	Ctx context.Context
+	// Campaigns is the number of campaign runners, i.e. how many jobs
+	// execute concurrently (default 2). Each runner executes one job at
+	// a time; concurrency never changes result bytes.
+	Campaigns int
+	// Workers caps each campaign's internal trace/sweep worker pools
+	// (0 means GOMAXPROCS).
+	Workers int
+	// TraceCache is the content-addressed trace store shared by every
+	// campaign; nil disables cross-campaign trace reuse.
+	TraceCache *tracecache.Store
+	// JobDir persists terminal results (<id>.status.json,
+	// <id>.result.csv) and in-flight checkpoints (<id>.ckpt). A result
+	// found there is served without re-measuring; a checkpoint found
+	// there makes a resubmitted campaign resume instead of restart.
+	// Empty disables persistence and resumability.
+	JobDir string
+	// CheckpointEvery flushes a job's checkpoint after this many
+	// completed (chip, trace) sweep jobs (0 means the measure default).
+	CheckpointEvery int
+	// Obs is the daemon-lifetime recorder behind /metrics and the debug
+	// trace: per-job counters are folded into it when jobs finish, and
+	// each runner records one campaign span per job on its lane. When
+	// nil a private recorder is created.
+	Obs *obs.Recorder
+}
+
+// Server schedules campaign jobs onto a fixed pool of runners. Jobs
+// are deduplicated and cached by campaign fingerprint, ordered by
+// (priority, submission sequence), and isolated per execution: each
+// job gets its own cancel scope, observability recorder and checkpoint
+// file, while all jobs share one trace cache.
+type Server struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+	rec    *obs.Recorder
+	wg     sync.WaitGroup
+
+	// wake nudges idle runners when work arrives. Buffered with
+	// non-blocking sends; runners re-poll the queue after every job, so
+	// a dropped nudge is never a lost wakeup.
+	wake chan struct{}
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	q      queue
+	seq    uint64
+	closed bool
+}
+
+// New starts a server: it validates the config, prepares the job
+// directory and launches the runner pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Ctx == nil {
+		return nil, fmt.Errorf("server: Config.Ctx is required")
+	}
+	if cfg.Campaigns <= 0 {
+		cfg.Campaigns = 2
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New().EnableTracing()
+	}
+	if cfg.JobDir != "" {
+		if err := os.MkdirAll(cfg.JobDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: job dir: %w", err)
+		}
+	}
+	ctx, cancel := context.WithCancel(cfg.Ctx)
+	s := &Server{
+		cfg:    cfg,
+		ctx:    ctx,
+		cancel: cancel,
+		rec:    cfg.Obs,
+		wake:   make(chan struct{}, 1024),
+		jobs:   map[string]*Job{},
+	}
+	for lane := 0; lane < cfg.Campaigns; lane++ {
+		s.rec.NameLane(obs.TrackReal, lane, fmt.Sprintf("runner %d", lane))
+		s.wg.Add(1)
+		go s.runner(ctx, lane)
+	}
+	return s, nil
+}
+
+// Close stops the server: it cancels every in-flight campaign (their
+// checkpoints survive for resumption), fails the queue over to the
+// canceled state and waits for the runners to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	for j := s.q.pop(); j != nil; j = s.q.pop() {
+		j.mu.Lock()
+		j.finishLocked(StateCanceled)
+		j.mu.Unlock()
+		s.rec.Add(obs.CtrJobsCanceled, 1)
+	}
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+}
+
+// Snapshot returns the daemon recorder's observability snapshot
+// (counters, campaign spans, folded per-job totals).
+func (s *Server) Snapshot() *obs.Snapshot { return s.rec.Snapshot() }
+
+// Get returns the job with the given id.
+func (s *Server) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every known job in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].seq < out[b].seq })
+	return out
+}
+
+// Submit registers a campaign. The returned job is, in order of
+// preference: the live job already computing this fingerprint
+// (deduplicated), a terminal job served from memory or the persisted
+// job store (cache), or a freshly queued job. Failed and canceled
+// campaigns are requeued on resubmission and resume from their
+// checkpoint when one exists.
+//
+// The returned body is the canonical response for this submission,
+// snapshotted before any runner can touch the job: a fresh submission
+// always answers in the "queued" form, a cache hit always answers with
+// the persisted "done" form.
+func (s *Server) Submit(spec Spec) (j *Job, body []byte, errs *Error) {
+	spec, camp, errs := spec.Resolve()
+	if errs != nil {
+		return nil, nil, errs
+	}
+	fp := camp.Fingerprint()
+	id := fp[:16]
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, nil, &Error{Status: 503, Code: "shutting_down", Message: "server is shutting down"}
+	}
+	if j, ok := s.jobs[id]; ok {
+		switch j.State() {
+		case StateFailed, StateCanceled:
+			// Retry: fall through to enqueue a fresh job object under
+			// the same id; its checkpoint (if any) makes it a resume.
+		default:
+			s.rec.Add(obs.CtrJobsDeduped, 1)
+			return j, j.StatusBytes(), nil
+		}
+	}
+
+	j = newJob(id, fp, spec, camp, s.seq)
+	s.seq++
+
+	if status, result, ok := s.loadPersisted(id); ok {
+		j.state = StateDone
+		j.source = SourceCache
+		j.status = status
+		j.result = result
+		j.traceDone, j.sweepDone = j.traceTotal, j.sweepTotal
+		close(j.done)
+		s.jobs[id] = j
+		s.rec.Add(obs.CtrJobsCached, 1)
+		return j, status, nil
+	}
+
+	// Snapshot the queued body while still holding s.mu: runners
+	// dequeue under the same mutex, so no execution state can leak into
+	// a submission response.
+	body = j.StatusBytes()
+	s.jobs[id] = j
+	s.q.push(j)
+	s.rec.Add(obs.CtrJobsSubmitted, 1)
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return j, body, nil
+}
+
+// Cancel stops the job with the given id: a queued job is canceled
+// immediately, a running one has its context cancelled and reaches the
+// canceled state when its runner unwinds (its checkpoint survives).
+func (s *Server) Cancel(id string) (*Job, *Error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, &Error{Status: 404, Code: "unknown_campaign", Message: fmt.Sprintf("no campaign %q", id)}
+	}
+	if q := s.q.remove(id); q != nil {
+		j.mu.Lock()
+		j.finishLocked(StateCanceled)
+		j.mu.Unlock()
+		s.rec.Add(obs.CtrJobsCanceled, 1)
+		return j, nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return nil, &Error{Status: 409, Code: "not_cancelable", Message: fmt.Sprintf("campaign is already %s", j.state)}
+	}
+	j.canceling = true
+	if j.cancel != nil {
+		j.cancel()
+	}
+	return j, nil
+}
+
+// next pops the highest-priority queued job and marks it running; nil
+// when the queue is empty.
+func (s *Server) next() *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.q.pop()
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	j.state = StateRunning
+	j.publishLocked(Event{State: StateRunning})
+	j.mu.Unlock()
+	return j
+}
+
+// runner is one campaign-execution loop. After finishing a job it
+// re-polls the queue before blocking, so a wake dropped while it was
+// busy cannot strand queued work.
+func (s *Server) runner(ctx context.Context, lane int) {
+	defer s.wg.Done()
+	for {
+		j := s.next()
+		if j == nil {
+			select {
+			case <-ctx.Done():
+				return
+			case <-s.wake:
+				continue
+			}
+		}
+		s.runJob(ctx, lane, j)
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+	}
+}
+
+// runJob executes one campaign with per-job isolation: its own cancel
+// scope, its own recorder, its own checkpoint file. The shared trace
+// cache is the only cross-job resource, and it is keyed by content, so
+// sharing never changes bytes.
+func (s *Server) runJob(ctx context.Context, lane int, j *Job) {
+	span := s.rec.StartSpan(obs.SpanCampaign, lane, obs.String(obs.AttrJob, j.id))
+
+	jrec := obs.New()
+	env := measure.Env{
+		Workers:    s.cfg.Workers,
+		TraceCache: s.cfg.TraceCache,
+		Obs:        jrec,
+		Notify:     j.notify,
+	}
+	if s.cfg.JobDir != "" {
+		env.Checkpoint = s.checkpointPath(j.id)
+		env.CheckpointEvery = s.cfg.CheckpointEvery
+	}
+	jctx, jcancel := context.WithCancel(ctx)
+	defer jcancel()
+	j.mu.Lock()
+	j.cancel = jcancel
+	if j.canceling {
+		// Cancel raced the dequeue; honour it before doing any work.
+		jcancel()
+	}
+	j.mu.Unlock()
+
+	ds, rep, err := j.camp.Run(jctx, env)
+	s.foldCounters(jrec)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cancel = nil
+	switch {
+	case err != nil && (j.canceling || ctx.Err() != nil):
+		j.errMsg = ""
+		j.finishLocked(StateCanceled)
+		s.rec.Add(obs.CtrJobsCanceled, 1)
+	case err != nil:
+		j.errMsg = err.Error()
+		j.finishLocked(StateFailed)
+		s.rec.Add(obs.CtrJobsFailed, 1)
+	default:
+		var buf bytes.Buffer
+		if werr := ds.WriteCSV(&buf); werr != nil {
+			j.errMsg = werr.Error()
+			j.finishLocked(StateFailed)
+			s.rec.Add(obs.CtrJobsFailed, 1)
+			break
+		}
+		j.report = rep
+		j.resumed = rep.Resumed
+		j.result = buf.Bytes()
+		j.finishLocked(StateDone)
+		s.rec.Add(obs.CtrJobsCompleted, 1)
+		s.persist(j)
+	}
+	span.End()
+}
+
+// foldCounters accumulates a finished job's counters into the daemon
+// recorder, so /metrics reports totals across all jobs.
+func (s *Server) foldCounters(jrec *obs.Recorder) {
+	for _, c := range jrec.Summary().Counters {
+		s.rec.Add(c.Name, c.Value)
+	}
+}
+
+// checkpointPath names the job's resumable shard file.
+func (s *Server) checkpointPath(id string) string {
+	return filepath.Join(s.cfg.JobDir, id+".ckpt")
+}
+
+// persist writes the terminal status and result bytes atomically and
+// retires the checkpoint. Persistence failures are recorded on the
+// daemon recorder but do not fail the job: the in-memory result is
+// still valid. Caller holds j.mu (reads only pinned terminal bytes).
+func (s *Server) persist(j *Job) {
+	if s.cfg.JobDir == "" {
+		return
+	}
+	if err := writeFileAtomic(filepath.Join(s.cfg.JobDir, j.id+".result.csv"), j.result); err != nil {
+		return
+	}
+	if err := writeFileAtomic(filepath.Join(s.cfg.JobDir, j.id+".status.json"), j.status); err != nil {
+		return
+	}
+	_ = os.Remove(s.checkpointPath(j.id)) // best-effort: a stale ckpt only costs a resume
+}
+
+// loadPersisted returns the terminal bytes persisted for id by an
+// earlier run (possibly of an earlier server process). The status must
+// parse and be done; anything less is treated as a miss.
+func (s *Server) loadPersisted(id string) (status, result []byte, ok bool) {
+	if s.cfg.JobDir == "" {
+		return nil, nil, false
+	}
+	status, err := os.ReadFile(filepath.Join(s.cfg.JobDir, id+".status.json"))
+	if err != nil {
+		return nil, nil, false
+	}
+	result, err = os.ReadFile(filepath.Join(s.cfg.JobDir, id+".result.csv"))
+	if err != nil {
+		return nil, nil, false
+	}
+	var st Status
+	if json.Unmarshal(status, &st) != nil || st.State != StateDone || st.ID != id {
+		return nil, nil, false
+	}
+	return status, result, true
+}
+
+// writeFileAtomic writes data via a temp file and rename, so readers
+// (and crashed writers) never observe a partial file.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close() // best-effort: the write error is the one worth reporting
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

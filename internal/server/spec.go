@@ -1,0 +1,159 @@
+// Package server turns the measurement harness into a multi-tenant
+// campaign service: portability-study requests (chip set, app set,
+// graph inputs, optimisation-config subspace, fault profile) become
+// resumable jobs on a priority queue, scheduled onto a pool of
+// campaign runners that share one content-addressed trace cache, and
+// surfaced over a small HTTP/JSON API with progress streaming,
+// cancellation, Prometheus metrics and instant cache-served answers.
+//
+// Every response body is byte-canonical: job identity is the
+// content-addressed campaign fingerprint, status bodies carry only
+// fields that are bit-identical for a given spec (no wall clock, no
+// scheduling artifacts), and result bodies are the dataset CSV the CLI
+// harness would have written. Provenance that legitimately varies
+// between executions of the same campaign (fresh vs cache-served,
+// checkpoint-resumed cell counts) travels in response headers, never
+// bodies, so goldens hold across runs, worker counts and restarts.
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"gpuport/internal/apps"
+	"gpuport/internal/chip"
+	"gpuport/internal/fault"
+	"gpuport/internal/graph"
+	"gpuport/internal/measure"
+	"gpuport/internal/opt"
+)
+
+// Spec is one campaign request as submitted over the API. Empty axes
+// mean "the full study axis" (all 6 chips, all 17 apps, the 3 standard
+// inputs, all 96 configurations); axis order is significant because it
+// fixes the row order of the result CSV.
+type Spec struct {
+	// Seed drives the measurement noise streams.
+	Seed uint64 `json:"seed"`
+	// Runs is the number of timed samples per cell (default 3).
+	Runs int `json:"runs,omitempty"`
+	// Chips restricts the chip axis to these short names (Table I).
+	Chips []string `json:"chips,omitempty"`
+	// Apps restricts the application axis to these names (Table VII).
+	Apps []string `json:"apps,omitempty"`
+	// Inputs restricts the input axis to these standard or extended
+	// graph names (Table VIII).
+	Inputs []string `json:"inputs,omitempty"`
+	// Configs restricts the optimisation subspace, in the paper's flag
+	// syntax ("baseline", "sg", "coop,sz256", ...).
+	Configs []string `json:"configs,omitempty"`
+	// Faults enables deterministic fault injection, in the
+	// internal/fault spec syntax ("light", "transient=0.05", ...).
+	Faults string `json:"faults,omitempty"`
+	// Validate re-checks every application output against its
+	// reference implementation while tracing.
+	Validate bool `json:"validate,omitempty"`
+	// Priority orders the job queue: higher runs first; ties run in
+	// submission order. Priority is scheduling, not identity - it does
+	// not participate in the campaign fingerprint.
+	Priority int `json:"priority,omitempty"`
+}
+
+// Error is a structured request error: machine-readable code, the spec
+// field at fault when there is one, and a human-readable message. It
+// renders as the JSON error body of a 4xx response.
+type Error struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Field   string `json:"field,omitempty"`
+	Message string `json:"message"`
+}
+
+func (e *Error) Error() string {
+	if e.Field != "" {
+		return fmt.Sprintf("%s (%s): %s", e.Code, e.Field, e.Message)
+	}
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+func badSpec(field, format string, args ...any) *Error {
+	return &Error{Status: http.StatusBadRequest, Code: "bad_spec", Field: field, Message: fmt.Sprintf(format, args...)}
+}
+
+// maxRuns bounds the per-cell sampling budget a request may ask for;
+// it exists to keep one hostile request from monopolising the pool.
+const maxRuns = 64
+
+// Resolve validates the spec and compiles it to the measurement
+// campaign it denotes. Unknown names, duplicate axis entries, an
+// explicitly empty config subspace and malformed fault or config
+// syntax all return a *Error carrying the offending field; the spec is
+// echoed back (with defaults filled) as the canonical form a status
+// body reports.
+func (s Spec) Resolve() (Spec, *measure.Campaign, *Error) {
+	if s.Runs < 0 || s.Runs > maxRuns {
+		return s, nil, badSpec("runs", "runs must be in 1..%d (0 means the default 3), got %d", maxRuns, s.Runs)
+	}
+	if s.Runs == 0 {
+		s.Runs = 3
+	}
+	o := measure.Options{Seed: s.Seed, Runs: s.Runs, Validate: s.Validate}
+
+	seen := map[string]bool{}
+	dup := func(field, name string) *Error {
+		if seen[field+"\x00"+name] {
+			return badSpec(field, "duplicate entry %q", name)
+		}
+		seen[field+"\x00"+name] = true
+		return nil
+	}
+	for _, name := range s.Chips {
+		ch, err := chip.ByName(name)
+		if err != nil {
+			return s, nil, badSpec("chips", "%v", err)
+		}
+		if e := dup("chips", name); e != nil {
+			return s, nil, e
+		}
+		o.Chips = append(o.Chips, ch)
+	}
+	for _, name := range s.Apps {
+		a, err := apps.ByName(name)
+		if err != nil {
+			return s, nil, badSpec("apps", "%v", err)
+		}
+		if e := dup("apps", name); e != nil {
+			return s, nil, e
+		}
+		o.Apps = append(o.Apps, a)
+	}
+	for _, name := range s.Inputs {
+		g, err := graph.InputByName(name)
+		if err != nil {
+			return s, nil, badSpec("inputs", "%v", err)
+		}
+		if e := dup("inputs", name); e != nil {
+			return s, nil, e
+		}
+		o.Inputs = append(o.Inputs, g)
+	}
+	if s.Configs != nil && len(s.Configs) == 0 {
+		return s, nil, badSpec("configs", "config subspace is empty (omit the field to sweep all 96 configurations)")
+	}
+	for _, spec := range s.Configs {
+		cfg, err := opt.Parse(spec)
+		if err != nil {
+			return s, nil, badSpec("configs", "%v", err)
+		}
+		if e := dup("configs", cfg.String()); e != nil {
+			return s, nil, e
+		}
+		o.Configs = append(o.Configs, cfg)
+	}
+	profile, err := fault.Parse(s.Faults)
+	if err != nil {
+		return s, nil, badSpec("faults", "%v", err)
+	}
+	o.Faults = profile
+	return s, measure.NewCampaign(o), nil
+}

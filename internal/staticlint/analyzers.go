@@ -41,12 +41,21 @@ func DefaultConfig() Config {
 			// byte-for-byte across runs and worker counts.
 			"gpuport/internal/obs.CanonicalTrace",
 			"gpuport/internal/obs.CanonicalMetrics",
+			// The campaign server: job identity (content-addressed
+			// fingerprints), spec resolution and the scheduling queue
+			// must be wall-clock- and randomness-free, or cached
+			// answers, dedupe and the byte-canonical HTTP bodies all
+			// break.
+			"gpuport/internal/measure.Campaign.Fingerprint",
+			"gpuport/internal/server.Spec.Resolve",
+			"gpuport/internal/server.queue.*",
+			"gpuport/internal/server.Job.StatusBytes",
 		},
 		WalltimeAllowed:      []string{"internal/obs", "internal/tracecache", "cmd/"},
 		RandAllowed:          []string{"internal/stats"},
 		ErrcheckScope:        []string{"internal/"},
 		FloatCmpScope:        []string{"internal/cost", "internal/stats"},
-		CtxScope:             []string{"internal/measure", "internal/fault"},
+		CtxScope:             []string{"internal/measure", "internal/fault", "internal/server"},
 		CtxBackgroundAllowed: []string{"cmd/"},
 		MapRangeScope:        []string{"internal/"},
 		ObsPath:              "internal/obs",

@@ -234,6 +234,10 @@ func TestProofSetNames(t *testing.T) {
 		"gpuport/internal/conform.check*",
 		"gpuport/internal/obs.CanonicalTrace",
 		"gpuport/internal/obs.CanonicalMetrics",
+		"gpuport/internal/measure.Campaign.Fingerprint",
+		"gpuport/internal/server.Spec.Resolve",
+		"gpuport/internal/server.queue.*",
+		"gpuport/internal/server.Job.StatusBytes",
 	}
 	if got := staticlint.DefaultConfig().DetRoots; !reflect.DeepEqual(got, want) {
 		t.Errorf("determinism proof set drifted:\n got %v\nwant %v", got, want)

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# serve_smoke.sh - end-to-end smoke test of the gpuportd campaign
+# server. Boots the daemon on an ephemeral port, submits the default
+# full-study campaign over HTTP, polls status to completion, fetches
+# the result CSV and diffs it byte-for-byte against the gpuport CLI's
+# dataset for the same seed. Also scrapes /metrics and the daemon's
+# Chrome trace so CI can upload them as artifacts.
+#
+# Requires: curl, jq, go. Run from the repository root (`make
+# serve-smoke`).
+set -euo pipefail
+
+SEED=42
+RUNS=3
+WORKDIR=$(mktemp -d)
+DAEMON_PID=""
+
+cleanup() {
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill "$DAEMON_PID" 2>/dev/null || true
+        wait "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "== building gpuportd and gpuport"
+go build -o "$WORKDIR/gpuportd" ./cmd/gpuportd
+go build -o "$WORKDIR/gpuport" ./cmd/gpuport
+
+echo "== booting gpuportd"
+"$WORKDIR/gpuportd" -listen 127.0.0.1:0 \
+    -jobdir "$WORKDIR/jobs" -trace-cache "$WORKDIR/cache" \
+    > "$WORKDIR/daemon.log" &
+DAEMON_PID=$!
+
+BASE=""
+for _ in $(seq 1 100); do
+    BASE=$(sed -n 's/^gpuportd listening on //p' "$WORKDIR/daemon.log" | head -1)
+    [ -n "$BASE" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || { cat "$WORKDIR/daemon.log"; echo "daemon died"; exit 1; }
+    sleep 0.1
+done
+[ -n "$BASE" ] || { echo "daemon never printed its listen banner"; exit 1; }
+echo "   $BASE"
+
+curl -fsS "$BASE/healthz" > /dev/null
+
+echo "== submitting default full-study campaign (seed $SEED, runs $RUNS)"
+SUBMIT=$(curl -fsS -X POST "$BASE/v1/campaigns" \
+    -H 'Content-Type: application/json' \
+    -d "{\"seed\":$SEED,\"runs\":$RUNS}")
+ID=$(echo "$SUBMIT" | jq -r .id)
+echo "   campaign $ID ($(echo "$SUBMIT" | jq -r .cells) cells)"
+
+echo "== polling to completion"
+STATE="queued"
+for _ in $(seq 1 600); do
+    STATUS=$(curl -fsS "$BASE/v1/campaigns/$ID")
+    STATE=$(echo "$STATUS" | jq -r .state)
+    case "$STATE" in
+        done) break ;;
+        failed|canceled) echo "campaign $STATE: $STATUS"; exit 1 ;;
+    esac
+    sleep 0.5
+done
+[ "$STATE" = "done" ] || { echo "campaign still $STATE after poll budget"; exit 1; }
+echo "   $(curl -fsS "$BASE/v1/campaigns/$ID" | jq -c .result)"
+
+echo "== fetching server result"
+curl -fsS "$BASE/v1/campaigns/$ID/result" -o "$WORKDIR/server.csv"
+
+echo "== running the CLI path for the same campaign"
+"$WORKDIR/gpuport" -seed "$SEED" -runs "$RUNS" -out "$WORKDIR/cli.csv" dataset > /dev/null
+
+echo "== diffing server vs CLI datasets"
+cmp "$WORKDIR/server.csv" "$WORKDIR/cli.csv"
+echo "   byte-identical ($(wc -c < "$WORKDIR/server.csv") bytes)"
+
+echo "== scraping observability artifacts"
+curl -fsS "$BASE/metrics" -o gpuportd-metrics.prom
+curl -fsS "$BASE/debug/obs-trace" -o gpuportd-obs-trace.json
+grep -q 'gpuport_counter_total{name="jobs-completed"} 1' gpuportd-metrics.prom
+jq -e '.traceEvents | length > 0' gpuportd-obs-trace.json > /dev/null
+
+echo "== serve smoke passed"
