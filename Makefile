@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build fmt-check lint staticgate test race conform conform-mutate fuzz cover ci bench bench-fault bench-trace bench-obs bench-cost bench-ci profile serve-smoke clean
+.PHONY: all vet build fmt-check lint staticgate test race conform conform-mutate fuzz cover ci bench bench-fault bench-trace bench-obs bench-cost bench-ci profile serve-smoke obs-slo clean
 
 # BENCHMD, when set, makes every benchcheck invocation append its
 # markdown results table (benchmark, ns/op, gate, verdict) to that
@@ -79,6 +79,7 @@ cover:
 		-floor gpuport/internal/cost,92 \
 		-floor gpuport/internal/cost/columnar,95 \
 		-floor gpuport/internal/irgl,89 \
+		-floor gpuport/internal/obs/tsdb,90 \
 		-floor gpuport/internal/server,85 \
 		-floor gpuport/internal/staticlint,90
 	@rm -f cover.out
@@ -89,10 +90,22 @@ ci: vet build fmt-check lint staticgate test race conform conform-mutate cover
 # serve-smoke boots gpuportd, drives a full campaign over real HTTP,
 # polls it to completion and diffs the served CSV against the gpuport
 # CLI's dataset for the same seed - the end-to-end proof that the
-# daemon is a pure transport. Leaves gpuportd-metrics.prom and
-# gpuportd-obs-trace.json behind for upload.
+# daemon is a pure transport. A second overlapping campaign exercises
+# the shared trace cache. Leaves gpuportd-metrics.prom,
+# gpuportd-obs-trace.json and the live gpuportd-stream.ndjson telemetry
+# capture behind for upload (and for obs-slo).
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# obs-slo is the SLO regression gate: it runs the serve smoke, then
+# evaluates request-latency / queue-wait / cache-hit floors against the
+# captured telemetry stream with `obsview slo`, proves the gate trips
+# on an injected latency regression, and records the observations as
+# BENCH_obs.json via benchcheck (the serve job's copy carries the SLO
+# block; the bench job's carries the span-overhead bound). Leaves
+# slo-report.txt behind for upload.
+obs-slo: serve-smoke
+	BENCHMD='$(BENCHMD)' ./scripts/obs_slo.sh
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -166,3 +179,4 @@ clean:
 	$(GO) clean ./...
 	rm -f bench-trace.out bench-ci.out bench-obs.out bench-cost.out cover.out conform-a.json conform-b.json
 	rm -f cpu.pprof mem.pprof obs-trace.json obs-metrics.prom profile-study.csv
+	rm -f gpuportd-metrics.prom gpuportd-obs-trace.json gpuportd-stream.ndjson slo-report.txt slo-bench.out

@@ -1,8 +1,8 @@
-// Command obsview summarises and compares the Chrome trace-event
-// files exported by gpuport -obs-trace. It answers the two questions a
-// trace viewer is too heavyweight for in a terminal workflow: "where
-// did this run spend its time" and "what changed between these two
-// runs".
+// Command obsview summarises, compares and gates the telemetry
+// gpuport and gpuportd export. It answers the questions a trace viewer
+// is too heavyweight for in a terminal workflow: "where did this run
+// spend its time", "what changed between these two runs", "what is the
+// daemon doing right now", and "did this run meet its latency floors".
 //
 // Usage:
 //
@@ -10,10 +10,25 @@
 //	                                  plus the run's counters
 //	obsview diff old.json new.json    per-span self-time and count
 //	                                  deltas, plus counter deltas
+//	obsview tail stream.ndjson        follow a /debug/obs-stream capture
+//	                                  ("-" for stdin), rolling top table
+//	obsview slo stream.ndjson         evaluate SLO floors against a
+//	                                  stream capture or a Chrome trace;
+//	                                  nonzero exit on any breach
 //
 // Flags (before the subcommand):
 //
 //	-top N    rows per table (default 15)
+//
+// tail flags (after the subcommand): -every N re-renders the table
+// every N closed spans (0 = once, at end of stream).
+//
+// slo flags (after the subcommand): -endpoint, -p50-ms, -p99-ms,
+// -queue-p99-ms, -cache-hit-min set the floors (zero disables a
+// check); -bench and -report write go-bench observations and the
+// human report to files; -inject-latency-ns adds synthetic latency to
+// every request sample, the hook CI uses to prove the gate fails on
+// regressions.
 //
 // Self time is a span's duration minus the duration of its children
 // (linked through the id/parent span attributes the exporter writes),
@@ -49,7 +64,7 @@ func run(args []string, w io.Writer) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: obsview [-top N] summary <trace.json> | diff <old.json> <new.json>")
+		return fmt.Errorf("usage: obsview [-top N] summary <trace.json> | diff <old.json> <new.json> | tail <stream.ndjson> | slo <stream.ndjson|trace.json>")
 	}
 	switch rest[0] {
 	case "summary":
@@ -74,8 +89,36 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		return diff(w, a, b, *top)
+	case "tail":
+		tfs := flag.NewFlagSet("obsview tail", flag.ContinueOnError)
+		every := tfs.Int("every", 0, "re-render every N closed spans (0 = only at end of stream)")
+		if err := tfs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		if tfs.NArg() != 1 {
+			return fmt.Errorf("usage: obsview tail [-every N] <stream.ndjson | ->")
+		}
+		return tail(w, tfs.Arg(0), *top, *every)
+	case "slo":
+		sfs := flag.NewFlagSet("obsview slo", flag.ContinueOnError)
+		cfg := sloConfig{}
+		sfs.StringVar(&cfg.endpoint, "endpoint", "submit", "endpoint whose request latency is evaluated")
+		sfs.Float64Var(&cfg.p50MS, "p50-ms", 0, "p50 request-latency floor in ms (0 disables)")
+		sfs.Float64Var(&cfg.p99MS, "p99-ms", 0, "p99 request-latency floor in ms (0 disables)")
+		sfs.Float64Var(&cfg.queueP99MS, "queue-p99-ms", 0, "p99 queue-wait floor in ms (0 disables)")
+		sfs.Float64Var(&cfg.cacheHitMin, "cache-hit-min", 0, "minimum trace-cache hit ratio 0..1 (0 disables)")
+		sfs.Int64Var(&cfg.injectLatency, "inject-latency-ns", 0, "test hook: ns added to every request-latency sample")
+		sfs.StringVar(&cfg.benchPath, "bench", "", "write observations as go-bench lines to this file")
+		sfs.StringVar(&cfg.reportPath, "report", "", "write the evaluation report to this file too")
+		if err := sfs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		if sfs.NArg() != 1 {
+			return fmt.Errorf("usage: obsview slo [flags] <stream.ndjson | trace.json | ->")
+		}
+		return slo(w, sfs.Arg(0), cfg)
 	default:
-		return fmt.Errorf("unknown command %q (summary or diff)", rest[0])
+		return fmt.Errorf("unknown command %q (summary, diff, tail or slo)", rest[0])
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Chrome trace-event export. The emitted JSON loads in Perfetto
@@ -89,6 +90,17 @@ func WriteChromeTrace(w io.Writer, s *Snapshot) error {
 		args["id"] = hexID(sp.ID)
 		if sp.Parent != 0 {
 			args["parent"] = hexID(sp.Parent)
+		}
+		if sp.TraceID != 0 {
+			args["trace"] = hexID(sp.TraceID)
+		}
+		if len(sp.Links) > 0 {
+			links := make([]string, len(sp.Links))
+			for i, l := range sp.Links {
+				links[i] = hexID(l)
+			}
+			sort.Strings(links)
+			args["links"] = strings.Join(links, ",")
 		}
 		events = append(events, chromeEvent{
 			Name: sp.Name, Ph: "X", Pid: trackPid(sp.Track), Tid: sp.Lane,

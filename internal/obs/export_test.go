@@ -139,6 +139,27 @@ func TestCanonicalMetricsStripsStageSeconds(t *testing.T) {
 	}
 }
 
+// TestCanonicalMetricsDegenerate pins CanonicalMetrics on empty and
+// malformed inputs: nil in, empty out; an exposition that is nothing
+// but wall-clock families strips to empty; lines without a trailing
+// newline and non-exposition garbage pass through untouched (the
+// canonicaliser filters families, it does not validate).
+func TestCanonicalMetricsDegenerate(t *testing.T) {
+	if got := CanonicalMetrics(nil); len(got) != 0 {
+		t.Errorf("CanonicalMetrics(nil) = %q, want empty", got)
+	}
+	onlyRT := "# TYPE " + RealtimePrefix + "gauge gauge\n" +
+		RealtimePrefix + `gauge{name="queue-depth"} 3` + "\n" +
+		`gpuport_stage_seconds{stage="trace"} 0.5` + "\n"
+	if got := CanonicalMetrics([]byte(onlyRT)); len(got) != 0 {
+		t.Errorf("all-wall-clock exposition canonicalised to %q, want empty", got)
+	}
+	passthrough := "garbage line\ngpuport_counter_total{name=\"x\"} 1"
+	if got := string(CanonicalMetrics([]byte(passthrough))); got != passthrough {
+		t.Errorf("passthrough mangled:\n got %q\nwant %q", got, passthrough)
+	}
+}
+
 func TestWriteEmptySnapshots(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteChromeTrace(&buf, nil); err != nil {

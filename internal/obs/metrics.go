@@ -20,6 +20,12 @@ import (
 // marker CanonicalMetrics keys on.
 const stageSecondsFamily = "gpuport_stage_seconds"
 
+// RealtimePrefix marks metric families whose values derive from wall
+// clock or sampling cadence (the tsdb time-series exposition: request
+// latencies, per-tick gauges). Everything under the prefix is stripped
+// by CanonicalMetrics, the same contract gpuport_stage_seconds has.
+const RealtimePrefix = "gpuport_rt_"
+
 // WriteMetrics writes the snapshot as Prometheus text exposition.
 func WriteMetrics(w io.Writer, s *Snapshot) error {
 	if s == nil {
@@ -108,13 +114,16 @@ func WriteMetrics(w io.Writer, s *Snapshot) error {
 }
 
 // CanonicalMetrics strips the wall-clock lines (the stage-seconds
-// gauge family and its TYPE header) from an exposition, leaving the
-// deterministic remainder for byte comparison.
+// gauge family, every RealtimePrefix time-series family, and their
+// TYPE headers) from an exposition, leaving the deterministic
+// remainder for byte comparison.
 func CanonicalMetrics(raw []byte) []byte {
 	var out bytes.Buffer
 	for _, line := range strings.SplitAfter(string(raw), "\n") {
 		if strings.HasPrefix(line, stageSecondsFamily) ||
-			strings.HasPrefix(line, "# TYPE "+stageSecondsFamily) {
+			strings.HasPrefix(line, "# TYPE "+stageSecondsFamily) ||
+			strings.HasPrefix(line, RealtimePrefix) ||
+			strings.HasPrefix(line, "# TYPE "+RealtimePrefix) {
 			continue
 		}
 		out.WriteString(line)

@@ -58,6 +58,21 @@ const (
 	// runner pool, from dequeue to terminal state, on the lane of the
 	// runner that executed it.
 	SpanCampaign = "campaign"
+	// SpanHTTPRequest covers one API request from accept to response
+	// on the server's HTTP lane; its endpoint attribute names the
+	// route. For campaign submissions it is the root of the request
+	// trace (validate and enqueue are its children, and the queue-wait
+	// and campaign spans link back to it).
+	SpanHTTPRequest = "http-request"
+	// SpanValidate covers spec validation/resolution inside a submit.
+	SpanValidate = "validate"
+	// SpanEnqueue covers job registration and queue insertion inside a
+	// submit.
+	SpanEnqueue = "enqueue"
+	// SpanQueueWait covers the time a job spends queued: opened when
+	// the job is enqueued, closed when a runner dequeues it (or the
+	// job is canceled while still queued).
+	SpanQueueWait = "queue-wait"
 )
 
 // Event names.
@@ -75,6 +90,9 @@ const (
 	// EvTraceCached marks a pair whose trace was served from the cache
 	// instead of executed.
 	EvTraceCached = "trace-cached"
+	// EvSubmitOutcome marks how a submission resolved (its outcome
+	// attribute is queued, deduped, cached, requeued or rejected).
+	EvSubmitOutcome = "submit-outcome"
 )
 
 // Attribute keys.
@@ -96,6 +114,8 @@ const (
 	AttrIters    = "iterations"
 	AttrPath     = "path"
 	AttrJob      = "job"
+	AttrEndpoint = "endpoint"
+	AttrOutcome  = "outcome"
 )
 
 // Histogram names. All histograms observe deterministic (simulated or
@@ -111,6 +131,28 @@ const (
 	HistCellAttempts = "cell-attempts"
 	// HistCellWaitNS observes per-cell virtual backoff/deadline time.
 	HistCellWaitNS = "cell-wait-ns"
+)
+
+// Lane labels (real-track export threads with fixed roles; runner
+// lanes are named dynamically).
+const (
+	// LaneHTTP is the lane the server's HTTP front end records its
+	// request spans on (one past the runner lanes).
+	LaneHTTP = "http"
+)
+
+// Time-series names (internal/obs/tsdb series sampled by the campaign
+// server on each telemetry tick).
+const (
+	// TSQueueDepth gauges the number of campaigns waiting in the
+	// scheduling queue.
+	TSQueueDepth = "queue-depth"
+	// TSRunnersBusy gauges how many campaign runners are executing a
+	// job (worker utilization is TSRunnersBusy / configured runners).
+	TSRunnersBusy = "runners-busy"
+	// TSLatencyPrefix prefixes per-endpoint request-latency histogram
+	// series; the endpoint name is appended ("http-latency:submit").
+	TSLatencyPrefix = "http-latency:"
 )
 
 // HistBounds is the fixed upper-bound ladder shared by every

@@ -106,6 +106,14 @@ type Recorder struct {
 	hists   []Hist
 	histIdx map[string]int
 	lanes   []LaneName
+
+	// Live streaming (see stream.go): registered watchers, and the
+	// optional forward target a job recorder mirrors its events into.
+	watchers  map[int]chan StreamEvent
+	nextWatch int
+	fwd       *Recorder
+	fwdTrace  uint64
+	fwdParent uint64
 }
 
 // New returns an empty recorder using the real clock.
@@ -164,6 +172,7 @@ func (r *Recorder) Add(name string, delta int64) {
 		r.counters = append(r.counters, Counter{Name: name})
 	}
 	r.counters[i].Value += delta
+	r.publishCounterLocked(name, delta, r.counters[i].Value)
 }
 
 // Summary snapshots the recorder. The recorder remains usable; later

@@ -55,8 +55,20 @@ func Bool(key string, value bool) Attr { return Attr{key, strconv.FormatBool(val
 type Span struct {
 	// ID is the deterministic span identity; Parent is 0 for roots.
 	ID, Parent uint64
-	Name       string
-	Track      Track
+	// TraceID groups every span of one logical request (a campaign's
+	// journey through submit, queue, runner and pipeline) into one
+	// connected trace. It is derived from content (NewTraceID over the
+	// campaign fingerprint), never from clocks or arrival order, so a
+	// trace's identity is bit-identical across runs. 0 means the span
+	// belongs to no request trace (the daemon's own housekeeping).
+	TraceID uint64
+	// Links name other spans this span is causally related to across
+	// an async boundary (a runner's campaign span links back to the
+	// HTTP request span that enqueued it). Link targets are span IDs,
+	// deterministic like everything else here.
+	Links []uint64
+	Name  string
+	Track Track
 	// Lane is the export thread: the worker id on the real track
 	// (scheduling-dependent, stripped by CanonicalTrace), the
 	// canonical pair index on the simulated track (deterministic).
@@ -65,6 +77,24 @@ type Span struct {
 	// StartNS/DurNS are nanoseconds since the recorder epoch on the
 	// real track, virtual nanoseconds on the simulated track.
 	StartNS, DurNS int64
+}
+
+// NewTraceID derives a deterministic 64-bit trace identity from the
+// given parts (typically a kind tag plus a content fingerprint). The
+// same parts yield the same trace ID in every run and process.
+func NewTraceID(parts ...string) uint64 {
+	h := fnv.New64a()
+	for i, p := range parts {
+		if i > 0 {
+			h.Write([]byte{'|'})
+		}
+		h.Write([]byte(p))
+	}
+	id := h.Sum64()
+	if id == 0 {
+		id = 1 // 0 is reserved for "no trace"
+	}
+	return id
 }
 
 // Event is one instantaneous occurrence attached to a span.
@@ -155,6 +185,17 @@ func (r *Recorder) TracingEnabled() bool { return r != nil && r.tracing }
 // SimEnabled reports whether the simulated timeline is being captured.
 func (r *Recorder) SimEnabled() bool { return r != nil && r.sim }
 
+// NowNS returns nanoseconds since the recorder's first observation on
+// the recorder's clock. Instrumented packages that may not read the
+// wall clock themselves (the walltime gate confines time.Now to the
+// instrumentation layers) route latency measurements through this.
+func (r *Recorder) NowNS() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.epochNS()
+}
+
 // epochNS returns nanoseconds since the recorder's first observation.
 func (r *Recorder) epochNS() int64 {
 	now := r.now()
@@ -191,7 +232,8 @@ func (r *Recorder) StartSpan(name string, lane int, attrs ...Attr) *SpanHandle {
 	}}
 }
 
-// StartSpan opens a child span of h on the real track.
+// StartSpan opens a child span of h on the real track. The child
+// inherits h's trace ID as it is at creation time.
 func (h *SpanHandle) StartSpan(name string, lane int, attrs ...Attr) *SpanHandle {
 	if h == nil {
 		return nil
@@ -199,11 +241,33 @@ func (h *SpanHandle) StartSpan(name string, lane int, attrs ...Attr) *SpanHandle
 	return &SpanHandle{r: h.r, span: Span{
 		ID:      spanID(h.span.ID, name, attrs),
 		Parent:  h.span.ID,
+		TraceID: h.span.TraceID,
 		Name:    name,
 		Lane:    lane,
 		Attrs:   attrs,
 		StartNS: h.r.epochNS(),
 	}}
+}
+
+// InTrace binds the span to a request trace. It returns h for
+// chaining. The trace ID is presentation, not identity: it does not
+// participate in the span's ID, so it may be set after creation (a
+// submit handler only learns the campaign fingerprint mid-request).
+// Children opened after InTrace inherit the trace.
+func (h *SpanHandle) InTrace(trace uint64) *SpanHandle {
+	if h != nil {
+		h.span.TraceID = trace
+	}
+	return h
+}
+
+// Link records a causal link from this span to another span (by its
+// deterministic ID), connecting work across async boundaries such as
+// the submit/runner handoff.
+func (h *SpanHandle) Link(id uint64) {
+	if h != nil && id != 0 {
+		h.span.Links = append(h.span.Links, id)
+	}
 }
 
 // ID returns the span's deterministic identity (0 on a nil handle).
@@ -251,7 +315,8 @@ func (r *Recorder) event(e Event) {
 	r.mu.Unlock()
 }
 
-// End closes the span, recording its duration.
+// End closes the span, recording its duration and notifying any live
+// stream watchers (see Watch).
 func (h *SpanHandle) End() {
 	if h == nil {
 		return
@@ -259,6 +324,7 @@ func (h *SpanHandle) End() {
 	h.span.DurNS = h.r.epochNS() - h.span.StartNS
 	h.r.mu.Lock()
 	h.r.spans = append(h.r.spans, h.span)
+	h.r.publishSpanLocked(h.span)
 	h.r.mu.Unlock()
 }
 
@@ -280,6 +346,7 @@ func (r *Recorder) SimSpan(lane int, parent uint64, name string, startNS, durNS 
 	}
 	r.mu.Lock()
 	r.spans = append(r.spans, s)
+	r.publishSpanLocked(s)
 	r.mu.Unlock()
 	return s.ID
 }

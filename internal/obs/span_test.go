@@ -142,6 +142,34 @@ func TestMergeHistEqualsDirectObserve(t *testing.T) {
 	}
 }
 
+// TestMergeHistOrderIndependence: folding the same partial histograms
+// in any order yields identical snapshots. This is what lets the
+// server adopt per-job histograms in completion order (which varies
+// with scheduling) while /metrics stays byte-canonical.
+func TestMergeHistOrderIndependence(t *testing.T) {
+	parts := make([]Hist, 3)
+	for i := range parts {
+		for v := int64(0); v < 50; v++ {
+			parts[i].Observe(v * int64(i+1) * 7)
+		}
+	}
+	orders := [][]int{{0, 1, 2}, {2, 1, 0}, {1, 0, 2}}
+	var snaps []Snapshot
+	for _, order := range orders {
+		r := New()
+		for _, i := range order {
+			r.MergeHist(HistFrontier, &parts[i])
+		}
+		snaps = append(snaps, *r.Snapshot())
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Hists[0] != snaps[0].Hists[0] {
+			t.Errorf("merge order %v produced a different histogram:\n%+v\n%+v",
+				orders[i], snaps[i].Hists[0], snaps[0].Hists[0])
+		}
+	}
+}
+
 func TestNilRecorderSpanSafety(t *testing.T) {
 	var r *Recorder
 	if r.TracingEnabled() || r.SimEnabled() {

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Live telemetry streaming. A Recorder can be watched: every span
+// close and every counter delta is fanned out to subscribers as a
+// StreamEvent, the unit of the NDJSON /debug/obs-stream endpoint.
+// Publishing is non-blocking - a slow watcher drops intermediate
+// events, never stalls the instrumented code - and costs nothing when
+// nobody watches (one integer check under a lock the hot paths
+// already hold).
+
+// StreamEvent kinds.
+const (
+	// StreamSpan is a span-close event: the span's identity, trace
+	// membership and measured duration.
+	StreamSpan = "span"
+	// StreamCounter is a counter-delta event: the increment just
+	// applied and the resulting total.
+	StreamCounter = "counter"
+)
+
+// StreamEvent is one live telemetry event. The JSON encoding is
+// canonical by construction: fields marshal in declaration order and
+// the attrs map marshals with sorted keys. DurNS is wall clock on the
+// real track and therefore varies run to run; every other field is
+// deterministic.
+type StreamEvent struct {
+	Kind   string            `json:"kind"`
+	Track  string            `json:"track,omitempty"`
+	Name   string            `json:"name"`
+	Trace  string            `json:"trace,omitempty"`
+	Span   string            `json:"span,omitempty"`
+	Parent string            `json:"parent,omitempty"`
+	DurNS  int64             `json:"dur_ns,omitempty"`
+	Delta  int64             `json:"delta,omitempty"`
+	Total  int64             `json:"total,omitempty"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// AppendNDJSON appends the event's canonical NDJSON line (JSON object
+// plus trailing newline) to dst and returns the extended slice.
+func (e StreamEvent) AppendNDJSON(dst []byte) []byte {
+	b, err := json.Marshal(e)
+	if err != nil {
+		// StreamEvent contains no unmarshalable types; reaching this is
+		// a programming error worth surfacing loudly in tests.
+		panic(fmt.Sprintf("obs: stream event marshal: %v", err))
+	}
+	dst = append(dst, b...)
+	return append(dst, '\n')
+}
+
+// Watch subscribes to the recorder's live event stream. Events are
+// delivered on the returned channel (buffered to buf, minimum 1);
+// events published while the buffer is full are dropped. The cancel
+// function unsubscribes and closes the channel.
+func (r *Recorder) Watch(buf int) (<-chan StreamEvent, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan StreamEvent, buf)
+	if r == nil {
+		close(ch)
+		return ch, func() {}
+	}
+	r.mu.Lock()
+	if r.watchers == nil {
+		r.watchers = map[int]chan StreamEvent{}
+	}
+	id := r.nextWatch
+	r.nextWatch++
+	r.watchers[id] = ch
+	r.mu.Unlock()
+	return ch, func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if _, ok := r.watchers[id]; ok {
+			delete(r.watchers, id)
+			close(ch)
+		}
+	}
+}
+
+// ForwardTo mirrors this recorder's stream events into parent's
+// watchers, stamped as members of the given trace; forwarded span
+// events whose recorded parent is 0 are re-parented under parentSpan.
+// This is how a campaign job's private recorder feeds the daemon's
+// live stream while the job runs: the daemon recorder adopts the
+// job's spans only when the job finishes, but watchers see them close
+// in real time. Call before concurrent use of the recorder begins.
+func (r *Recorder) ForwardTo(parent *Recorder, trace, parentSpan uint64) *Recorder {
+	if r != nil {
+		r.fwd = parent
+		r.fwdTrace = trace
+		r.fwdParent = parentSpan
+	}
+	return r
+}
+
+// watched reports whether any watcher (here or downstream of a
+// forward) would receive a published event. Callers hold r.mu.
+func (r *Recorder) watchedLocked() bool {
+	if len(r.watchers) > 0 {
+		return true
+	}
+	if r.fwd == nil {
+		return false
+	}
+	r.fwd.mu.Lock()
+	n := len(r.fwd.watchers)
+	r.fwd.mu.Unlock()
+	return n > 0
+}
+
+// deliverLocked fans an event out to this recorder's watchers and to
+// the forward target's watchers. Callers hold r.mu (but never
+// r.fwd.mu: forward edges only ever point from job recorders to the
+// daemon recorder, so the lock order r.mu -> r.fwd.mu is acyclic).
+func (r *Recorder) deliverLocked(e StreamEvent) {
+	for _, ch := range r.watchers {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+	if r.fwd == nil {
+		return
+	}
+	if e.Kind == StreamSpan {
+		if e.Trace == "" && r.fwdTrace != 0 {
+			e.Trace = hexID(r.fwdTrace)
+		}
+		if e.Parent == "" && r.fwdParent != 0 {
+			e.Parent = hexID(r.fwdParent)
+		}
+	}
+	r.fwd.mu.Lock()
+	for _, ch := range r.fwd.watchers {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+	r.fwd.mu.Unlock()
+}
+
+// publishSpanLocked emits a span-close event. Callers hold r.mu.
+func (r *Recorder) publishSpanLocked(sp Span) {
+	if !r.watchedLocked() {
+		return
+	}
+	e := StreamEvent{
+		Kind:  StreamSpan,
+		Track: sp.Track.String(),
+		Name:  sp.Name,
+		Span:  hexID(sp.ID),
+		DurNS: sp.DurNS,
+	}
+	if sp.TraceID != 0 {
+		e.Trace = hexID(sp.TraceID)
+	}
+	if sp.Parent != 0 {
+		e.Parent = hexID(sp.Parent)
+	}
+	if len(sp.Attrs) > 0 {
+		e.Attrs = make(map[string]string, len(sp.Attrs))
+		for _, a := range sp.Attrs {
+			e.Attrs[a.Key] = a.Value
+		}
+	}
+	r.deliverLocked(e)
+}
+
+// publishCounterLocked emits a counter-delta event. Callers hold r.mu.
+func (r *Recorder) publishCounterLocked(name string, delta, total int64) {
+	if !r.watchedLocked() {
+		return
+	}
+	r.deliverLocked(StreamEvent{Kind: StreamCounter, Name: name, Delta: delta, Total: total})
+}
+
+// MergeStage folds an externally accumulated stage duration into the
+// named stage timer (how a finished job's stage wall-clock reaches the
+// daemon recorder behind /metrics).
+func (r *Recorder) MergeStage(name string, d time.Duration, calls int) {
+	if r == nil || calls == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i, ok := r.stageIdx[name]
+	if !ok {
+		i = len(r.stages)
+		r.stageIdx[name] = i
+		r.stages = append(r.stages, Stage{Name: name})
+	}
+	r.stages[i].Duration += d
+	r.stages[i].Calls += calls
+}
+
+// Adopt folds another recorder's snapshot into r as one connected
+// trace: adopted spans are stamped with the trace ID, real-track roots
+// are re-parented under parent (the adopting span, typically the
+// runner's campaign span), and events, histograms, counters, stage
+// timers and simulated-track lane names are carried over. Real-track
+// lane names are NOT adopted - worker lanes are scheduling artifacts
+// of the donor and would collide with the adopter's own lanes.
+//
+// Adopted spans and events are not re-published to watchers: a
+// forwarding recorder (see ForwardTo) already streamed them live.
+func (r *Recorder) Adopt(s *Snapshot, trace, parent uint64) {
+	if r == nil || s == nil {
+		return
+	}
+	if r.TracingEnabled() {
+		r.mu.Lock()
+		for _, sp := range s.Spans {
+			sp.TraceID = trace
+			if sp.Parent == 0 && sp.Track == TrackReal {
+				sp.Parent = parent
+			}
+			r.spans = append(r.spans, sp)
+		}
+		r.events = append(r.events, s.Events...)
+		r.mu.Unlock()
+		for _, ln := range s.Lanes {
+			if ln.Track == TrackSim {
+				r.NameLane(ln.Track, ln.Lane, ln.Name)
+			}
+		}
+	}
+	for i := range s.Hists {
+		r.MergeHist(s.Hists[i].Name, &s.Hists[i])
+	}
+	for _, c := range s.Counters {
+		r.Add(c.Name, c.Value)
+	}
+	if s.Summary != nil {
+		for _, st := range s.Summary.Stages {
+			r.MergeStage(st.Name, st.Duration, st.Calls)
+		}
+	}
+}

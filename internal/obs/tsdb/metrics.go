@@ -1,0 +1,85 @@
+package tsdb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"gpuport/internal/obs"
+)
+
+// Prometheus text exposition of the store's current state. Every
+// family carries obs.RealtimePrefix, so obs.CanonicalMetrics strips
+// the whole block: time-series levels are wall-clock shaped and must
+// never leak into byte-identity proofs. Within the block the layout is
+// still canonical - series sorted by name, fixed bucket ladder - so a
+// given sequence of writes and ticks always produces the same bytes.
+
+// WriteMetrics writes the store's gauges, counters and cumulative
+// histograms as Prometheus text exposition under the realtime prefix,
+// plus a gpuport_rt_ticks_total sample-count counter.
+func (s *Store) WriteMetrics(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	type snap struct {
+		name  string
+		kind  Kind
+		cur   int64
+		total obs.Hist
+	}
+	snaps := make([]snap, 0, len(s.series))
+	for _, se := range s.series {
+		// se.total already includes the not-yet-ticked window (Observe
+		// feeds both), so the exposition needs no merge.
+		snaps = append(snaps, snap{name: se.name, kind: se.kind, cur: se.cur, total: se.total})
+	}
+	ticks := s.ticks
+	s.mu.Unlock()
+
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].name < snaps[j].name })
+
+	bw := bufio.NewWriter(w)
+	var gauges, counters, hists []snap
+	for _, sn := range snaps {
+		switch sn.kind {
+		case KindGauge:
+			gauges = append(gauges, sn)
+		case KindCounter:
+			counters = append(counters, sn)
+		case KindHist:
+			hists = append(hists, sn)
+		}
+	}
+
+	if len(gauges) > 0 {
+		fmt.Fprintf(bw, "# TYPE %sgauge gauge\n", obs.RealtimePrefix)
+		for _, sn := range gauges {
+			fmt.Fprintf(bw, "%sgauge{name=%q} %d\n", obs.RealtimePrefix, sn.name, sn.cur)
+		}
+	}
+
+	fmt.Fprintf(bw, "# TYPE %scounter_total counter\n", obs.RealtimePrefix)
+	for _, sn := range counters {
+		fmt.Fprintf(bw, "%scounter_total{name=%q} %d\n", obs.RealtimePrefix, sn.name, sn.cur)
+	}
+	fmt.Fprintf(bw, "%scounter_total{name=\"ticks\"} %d\n", obs.RealtimePrefix, ticks)
+
+	if len(hists) > 0 {
+		fmt.Fprintf(bw, "# TYPE %shist histogram\n", obs.RealtimePrefix)
+		for _, sn := range hists {
+			var cum int64
+			for i, b := range obs.HistBounds {
+				cum += sn.total.Buckets[i]
+				fmt.Fprintf(bw, "%shist_bucket{name=%q,le=%q} %d\n", obs.RealtimePrefix, sn.name, strconv.FormatInt(b, 10), cum)
+			}
+			fmt.Fprintf(bw, "%shist_bucket{name=%q,le=\"+Inf\"} %d\n", obs.RealtimePrefix, sn.name, sn.total.Count)
+			fmt.Fprintf(bw, "%shist_sum{name=%q} %d\n", obs.RealtimePrefix, sn.name, sn.total.Sum)
+			fmt.Fprintf(bw, "%shist_count{name=%q} %d\n", obs.RealtimePrefix, sn.name, sn.total.Count)
+		}
+	}
+	return bw.Flush()
+}

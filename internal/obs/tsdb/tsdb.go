@@ -1,0 +1,354 @@
+// Package tsdb is a small in-process time-series store for the
+// campaign server's live telemetry: per-endpoint request-latency
+// histograms, queue-depth and utilization gauges, and cache counters,
+// sampled into fixed-capacity ring buffers on an externally driven
+// clock tick.
+//
+// The store never reads a clock itself - tick timestamps are injected
+// by the caller (the daemon's tick loop in production, a virtual clock
+// in tests) - and reuses the power-of-4 integer histograms of
+// internal/obs, so snapshots are merge-order independent and the
+// exposition is byte-stable for a given sequence of writes and ticks.
+// Exposed metric families all carry the obs.RealtimePrefix, which
+// obs.CanonicalMetrics strips: time-series values legitimately vary
+// run to run, so they never participate in byte-identity proofs.
+package tsdb
+
+import (
+	"sync"
+
+	"gpuport/internal/obs"
+)
+
+// Kind discriminates the three series shapes.
+type Kind uint8
+
+const (
+	// KindGauge samples a point-in-time level (queue depth).
+	KindGauge Kind = iota
+	// KindCounter samples a monotonic cumulative total; each tick also
+	// records the delta since the previous tick (cache hits).
+	KindCounter
+	// KindHist accumulates integer observations into a power-of-4
+	// histogram; each tick snapshots and resets the current window
+	// (request latency in nanoseconds).
+	KindHist
+)
+
+// String returns the exposition name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindHist:
+		return "hist"
+	default:
+		return "gauge"
+	}
+}
+
+// Point is one sampled value of a gauge or counter series.
+type Point struct {
+	// TSNS is the tick timestamp, in whatever nanosecond clock the
+	// caller drives Tick with.
+	TSNS int64
+	// Value is the gauge level, or the counter's cumulative total.
+	Value int64
+	// Delta is the counter increment since the previous tick (0 for
+	// gauges).
+	Delta int64
+}
+
+// HistPoint is one sampled histogram window.
+type HistPoint struct {
+	TSNS int64
+	H    obs.Hist
+}
+
+// series is one named stream plus its sample ring. Rings are
+// fixed-capacity circular buffers: write position advances modulo cap,
+// so a long-running daemon holds the most recent cap ticks.
+type series struct {
+	name  string
+	kind  Kind
+	cur   int64    // gauge level or counter cumulative total
+	last  int64    // counter total at the previous tick
+	win   obs.Hist // hist observations since the previous tick
+	total obs.Hist // hist observations since process start
+
+	ring  []Point
+	hring []HistPoint
+	n     int // samples written (ring wraps at cap)
+}
+
+// Store is the time-series store. Safe for concurrent use; writers
+// never block on readers beyond the mutex.
+type Store struct {
+	mu     sync.Mutex
+	cap    int
+	series []*series
+	idx    map[string]int
+	ticks  int
+	lastTS int64
+}
+
+// DefaultCapacity is the ring size used when New is given a
+// non-positive capacity: one hour of samples at a 10s tick.
+const DefaultCapacity = 360
+
+// New returns an empty store whose rings hold capacity samples.
+func New(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Store{cap: capacity, idx: map[string]int{}}
+}
+
+// get returns the named series, creating it with the kind on first
+// use. Callers hold s.mu. A name reused with a different kind keeps
+// its original kind: series identity is the name, and the first writer
+// fixes the shape (mixing shapes under one name is a programming
+// error the tests catch via Kind()).
+func (s *Store) get(name string, kind Kind) *series {
+	if i, ok := s.idx[name]; ok {
+		return s.series[i]
+	}
+	se := &series{name: name, kind: kind}
+	switch kind {
+	case KindHist:
+		se.hring = make([]HistPoint, 0, s.cap)
+	default:
+		se.ring = make([]Point, 0, s.cap)
+	}
+	s.idx[name] = len(s.series)
+	s.series = append(s.series, se)
+	return se
+}
+
+// Set sets the named gauge's current level.
+func (s *Store) Set(name string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.get(name, KindGauge).cur = v
+	s.mu.Unlock()
+}
+
+// Inc adds delta to the named counter's cumulative total.
+func (s *Store) Inc(name string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.get(name, KindCounter).cur += delta
+	s.mu.Unlock()
+}
+
+// Mark sets the named counter's cumulative total absolutely (for
+// mirroring an externally accumulated total, e.g. an obs counter).
+// Totals are clamped monotonic: a smaller value than the current total
+// is ignored, so repeated marks from restarting sources cannot make a
+// counter run backwards.
+func (s *Store) Mark(name string, total int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	se := s.get(name, KindCounter)
+	if total > se.cur {
+		se.cur = total
+	}
+	s.mu.Unlock()
+}
+
+// Observe adds one observation to the named histogram series' current
+// window.
+func (s *Store) Observe(name string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	se := s.get(name, KindHist)
+	se.win.Observe(v)
+	se.total.Observe(v)
+	s.mu.Unlock()
+}
+
+// Tick samples every series at the given timestamp: gauges record
+// their level, counters their total and per-tick delta, histograms
+// snapshot and reset their window. Timestamps are caller-supplied and
+// should be monotonic; the store does not inspect them.
+func (s *Store) Tick(tsNS int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ticks++
+	s.lastTS = tsNS
+	for _, se := range s.series {
+		switch se.kind {
+		case KindHist:
+			hp := HistPoint{TSNS: tsNS, H: se.win}
+			hp.H.Name = se.name
+			if len(se.hring) < s.cap {
+				se.hring = append(se.hring, hp)
+			} else {
+				se.hring[se.n%s.cap] = hp
+			}
+			se.win = obs.Hist{}
+			se.n++
+		default:
+			p := Point{TSNS: tsNS, Value: se.cur}
+			if se.kind == KindCounter {
+				p.Delta = se.cur - se.last
+				se.last = se.cur
+			}
+			if len(se.ring) < s.cap {
+				se.ring = append(se.ring, p)
+			} else {
+				se.ring[se.n%s.cap] = p
+			}
+			se.n++
+		}
+	}
+}
+
+// Ticks reports how many ticks the store has sampled.
+func (s *Store) Ticks() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ticks
+}
+
+// Cap returns the ring capacity.
+func (s *Store) Cap() int {
+	if s == nil {
+		return 0
+	}
+	return s.cap
+}
+
+// Kind reports the named series' kind; ok is false for an unknown
+// series.
+func (s *Store) Kind(name string) (Kind, bool) {
+	if s == nil {
+		return 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.idx[name]
+	if !ok {
+		return 0, false
+	}
+	return s.series[i].kind, true
+}
+
+// Value returns the named gauge's or counter's current level/total (0
+// for unknown or histogram series).
+func (s *Store) Value(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i, ok := s.idx[name]; ok && s.series[i].kind != KindHist {
+		return s.series[i].cur
+	}
+	return 0
+}
+
+// Window returns up to n most recent samples of the named gauge or
+// counter series, oldest first. Nil for histogram or unknown series.
+func (s *Store) Window(name string, n int) []Point {
+	if s == nil || n <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.idx[name]
+	if !ok || s.series[i].kind == KindHist {
+		return nil
+	}
+	se := s.series[i]
+	have := len(se.ring)
+	if n > have {
+		n = have
+	}
+	out := make([]Point, 0, n)
+	for k := se.n - n; k < se.n; k++ {
+		out = append(out, se.ring[k%len(se.ring)])
+	}
+	return out
+}
+
+// HistWindow returns up to n most recent sampled windows of the named
+// histogram series, oldest first. Nil for non-histogram series.
+func (s *Store) HistWindow(name string, n int) []HistPoint {
+	if s == nil || n <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.idx[name]
+	if !ok || s.series[i].kind != KindHist {
+		return nil
+	}
+	se := s.series[i]
+	have := len(se.hring)
+	if n > have {
+		n = have
+	}
+	out := make([]HistPoint, 0, n)
+	for k := se.n - n; k < se.n; k++ {
+		out = append(out, se.hring[k%len(se.hring)])
+	}
+	return out
+}
+
+// Total returns the cumulative histogram of the named series
+// (including the not-yet-ticked current window). ok is false for
+// non-histogram or unknown series.
+func (s *Store) Total(name string) (obs.Hist, bool) {
+	if s == nil {
+		return obs.Hist{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.idx[name]
+	if !ok || s.series[i].kind != KindHist {
+		return obs.Hist{}, false
+	}
+	h := s.series[i].total
+	h.Name = name
+	return h, true
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the named
+// histogram series' cumulative distribution, as the upper bound of the
+// bucket holding the q-th observation (the overflow bucket reports the
+// largest finite bound). ok is false when the series is unknown, not a
+// histogram, or empty.
+func (s *Store) Quantile(name string, q float64) (int64, bool) {
+	h, ok := s.Total(name)
+	if !ok || h.Count == 0 || q <= 0 || q > 1 {
+		return 0, false
+	}
+	// The rank is ceil(q * count), at least 1.
+	rank := int64(q * float64(h.Count))
+	if float64(rank) < q*float64(h.Count) || rank == 0 {
+		rank++
+	}
+	var cum int64
+	for i, b := range obs.HistBounds {
+		cum += h.Buckets[i]
+		if cum >= rank {
+			return b, true
+		}
+	}
+	return obs.HistBounds[len(obs.HistBounds)-1], true
+}

@@ -1,0 +1,385 @@
+package tsdb
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"gpuport/internal/obs"
+)
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{KindGauge: "gauge", KindCounter: "counter", KindHist: "hist"} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestNilStoreIsSafe(t *testing.T) {
+	var s *Store
+	s.Set("g", 1)
+	s.Inc("c", 1)
+	s.Mark("c", 5)
+	s.Observe("h", 1)
+	s.Tick(1)
+	if s.Ticks() != 0 || s.Cap() != 0 || s.Value("g") != 0 {
+		t.Fatal("nil store should report zeros")
+	}
+	if _, ok := s.Kind("g"); ok {
+		t.Fatal("nil store should know no series")
+	}
+	if s.Window("g", 5) != nil || s.HistWindow("h", 5) != nil {
+		t.Fatal("nil store should return nil windows")
+	}
+	if _, ok := s.Total("h"); ok {
+		t.Fatal("nil store should have no totals")
+	}
+	if _, ok := s.Quantile("h", 0.5); ok {
+		t.Fatal("nil store should have no quantiles")
+	}
+	if err := s.WriteMetrics(&bytes.Buffer{}); err != nil {
+		t.Fatalf("nil WriteMetrics: %v", err)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	if got := New(0).Cap(); got != DefaultCapacity {
+		t.Fatalf("New(0).Cap() = %d, want %d", got, DefaultCapacity)
+	}
+	if got := New(-3).Cap(); got != DefaultCapacity {
+		t.Fatalf("New(-3).Cap() = %d, want %d", got, DefaultCapacity)
+	}
+	if got := New(7).Cap(); got != 7 {
+		t.Fatalf("New(7).Cap() = %d, want 7", got)
+	}
+}
+
+func TestGaugeSampling(t *testing.T) {
+	s := New(4)
+	s.Set("queue", 3)
+	s.Tick(100)
+	s.Set("queue", 7)
+	s.Set("queue", 5)
+	s.Tick(200)
+
+	if v := s.Value("queue"); v != 5 {
+		t.Fatalf("Value = %d, want 5", v)
+	}
+	if k, ok := s.Kind("queue"); !ok || k != KindGauge {
+		t.Fatalf("Kind = %v,%v, want gauge,true", k, ok)
+	}
+	got := s.Window("queue", 10)
+	want := []Point{{TSNS: 100, Value: 3}, {TSNS: 200, Value: 5}}
+	if len(got) != len(want) {
+		t.Fatalf("Window len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Window[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCounterDeltas(t *testing.T) {
+	s := New(4)
+	s.Inc("hits", 2)
+	s.Tick(1)
+	s.Inc("hits", 3)
+	s.Inc("hits", 1)
+	s.Tick(2)
+	s.Tick(3) // no traffic
+
+	got := s.Window("hits", 3)
+	want := []Point{
+		{TSNS: 1, Value: 2, Delta: 2},
+		{TSNS: 2, Value: 6, Delta: 4},
+		{TSNS: 3, Value: 6, Delta: 0},
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Window[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMarkIsMonotonic(t *testing.T) {
+	s := New(4)
+	s.Mark("total", 10)
+	s.Mark("total", 4) // regression ignored
+	if v := s.Value("total"); v != 10 {
+		t.Fatalf("Value after backwards Mark = %d, want 10", v)
+	}
+	s.Mark("total", 12)
+	if v := s.Value("total"); v != 12 {
+		t.Fatalf("Value after forward Mark = %d, want 12", v)
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	s := New(3)
+	s.Set("g", 0)
+	for ts := int64(1); ts <= 5; ts++ {
+		s.Set("g", ts*10)
+		s.Tick(ts)
+	}
+	got := s.Window("g", 10)
+	want := []Point{{TSNS: 3, Value: 30}, {TSNS: 4, Value: 40}, {TSNS: 5, Value: 50}}
+	if len(got) != 3 {
+		t.Fatalf("Window len = %d, want 3 (capacity)", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Window[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// A smaller ask returns only the most recent samples.
+	tail := s.Window("g", 2)
+	if len(tail) != 2 || tail[0] != want[1] || tail[1] != want[2] {
+		t.Fatalf("Window(2) = %+v, want %+v", tail, want[1:])
+	}
+	if s.Ticks() != 5 {
+		t.Fatalf("Ticks = %d, want 5", s.Ticks())
+	}
+}
+
+func TestHistWindowsResetPerTick(t *testing.T) {
+	s := New(4)
+	s.Observe("lat", 10)
+	s.Observe("lat", 100)
+	s.Tick(1)
+	s.Observe("lat", 1000)
+	s.Tick(2)
+	s.Tick(3) // empty window
+
+	wins := s.HistWindow("lat", 10)
+	if len(wins) != 3 {
+		t.Fatalf("HistWindow len = %d, want 3", len(wins))
+	}
+	if wins[0].H.Count != 2 || wins[0].H.Sum != 110 {
+		t.Errorf("window 0 = count %d sum %d, want 2/110", wins[0].H.Count, wins[0].H.Sum)
+	}
+	if wins[1].H.Count != 1 || wins[1].H.Sum != 1000 {
+		t.Errorf("window 1 = count %d sum %d, want 1/1000", wins[1].H.Count, wins[1].H.Sum)
+	}
+	if wins[2].H.Count != 0 {
+		t.Errorf("window 2 count = %d, want 0", wins[2].H.Count)
+	}
+	if wins[0].H.Name != "lat" {
+		t.Errorf("window Name = %q, want lat", wins[0].H.Name)
+	}
+
+	total, ok := s.Total("lat")
+	if !ok || total.Count != 3 || total.Sum != 1110 {
+		t.Fatalf("Total = %+v,%v, want count 3 sum 1110", total, ok)
+	}
+}
+
+func TestTotalIncludesUntickedWindow(t *testing.T) {
+	s := New(4)
+	s.Observe("lat", 5)
+	total, ok := s.Total("lat")
+	if !ok || total.Count != 1 || total.Sum != 5 {
+		t.Fatalf("Total before any tick = %+v,%v, want count 1 sum 5", total, ok)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := New(4)
+	// 90 fast observations (<=16), 10 slow (<=1024).
+	for i := 0; i < 90; i++ {
+		s.Observe("lat", 10)
+	}
+	for i := 0; i < 10; i++ {
+		s.Observe("lat", 1000)
+	}
+	if q, ok := s.Quantile("lat", 0.5); !ok || q != 16 {
+		t.Errorf("p50 = %d,%v, want 16", q, ok)
+	}
+	if q, ok := s.Quantile("lat", 0.90); !ok || q != 16 {
+		t.Errorf("p90 = %d,%v, want 16 (rank 90 is still fast)", q, ok)
+	}
+	if q, ok := s.Quantile("lat", 0.99); !ok || q != 1024 {
+		t.Errorf("p99 = %d,%v, want 1024", q, ok)
+	}
+	if q, ok := s.Quantile("lat", 1); !ok || q != 1024 {
+		t.Errorf("p100 = %d,%v, want 1024", q, ok)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	s := New(4)
+	if _, ok := s.Quantile("missing", 0.5); ok {
+		t.Error("quantile of unknown series should be !ok")
+	}
+	s.Observe("lat", 1)
+	if _, ok := s.Quantile("lat", 0); ok {
+		t.Error("q=0 should be !ok")
+	}
+	if _, ok := s.Quantile("lat", 1.5); ok {
+		t.Error("q>1 should be !ok")
+	}
+	if q, ok := s.Quantile("lat", 0.5); !ok || q != 1 {
+		t.Errorf("single-sample p50 = %d,%v, want 1", q, ok)
+	}
+	// Overflow bucket reports the largest finite bound.
+	o := New(4)
+	o.Observe("big", 1<<40)
+	want := obs.HistBounds[len(obs.HistBounds)-1]
+	if q, ok := o.Quantile("big", 0.5); !ok || q != want {
+		t.Errorf("overflow p50 = %d,%v, want %d", q, ok, want)
+	}
+	// Gauges have no quantiles.
+	s.Set("g", 1)
+	if _, ok := s.Quantile("g", 0.5); ok {
+		t.Error("quantile of a gauge should be !ok")
+	}
+}
+
+func TestKindMismatchKeepsOriginal(t *testing.T) {
+	s := New(4)
+	s.Set("x", 1)
+	s.Inc("x", 5) // wrong kind; series stays a gauge, value still mutates
+	if k, _ := s.Kind("x"); k != KindGauge {
+		t.Fatalf("Kind = %v, want gauge (first writer fixes the shape)", k)
+	}
+	if s.Window("missing", 3) != nil {
+		t.Error("Window of unknown series should be nil")
+	}
+	if s.HistWindow("x", 3) != nil {
+		t.Error("HistWindow of a gauge should be nil")
+	}
+	s.Observe("h", 1)
+	if s.Window("h", 3) != nil {
+		t.Error("Window of a hist should be nil")
+	}
+	if v := s.Value("h"); v != 0 {
+		t.Errorf("Value of a hist = %d, want 0", v)
+	}
+	if _, ok := s.Total("x"); ok {
+		t.Error("Total of a gauge should be !ok")
+	}
+	if s.Window("x", 0) != nil {
+		t.Error("Window(n<=0) should be nil")
+	}
+	if s.HistWindow("h", 0) != nil {
+		t.Error("HistWindow(n<=0) should be nil")
+	}
+}
+
+func TestWriteMetricsCanonical(t *testing.T) {
+	s := New(4)
+	// Insertion order deliberately unsorted: exposition must sort.
+	s.Set("z-gauge", 9)
+	s.Set("a-gauge", 1)
+	s.Inc("m-counter", 4)
+	s.Observe("lat", 100)
+	s.Tick(1)
+
+	var buf bytes.Buffer
+	if err := s.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	// Every line must carry the realtime prefix so CanonicalMetrics
+	// strips the whole block.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, obs.RealtimePrefix) && !strings.HasPrefix(line, "# TYPE "+obs.RealtimePrefix) {
+			t.Fatalf("line escapes realtime prefix: %q", line)
+		}
+	}
+	if got := string(obs.CanonicalMetrics(buf.Bytes())); got != "" {
+		t.Fatalf("CanonicalMetrics left realtime content behind:\n%s", got)
+	}
+
+	// Sorted series order within a family.
+	if ia, iz := strings.Index(out, `name="a-gauge"`), strings.Index(out, `name="z-gauge"`); ia < 0 || iz < 0 || ia > iz {
+		t.Fatalf("gauges not sorted by name:\n%s", out)
+	}
+	for _, want := range []string{
+		`gpuport_rt_gauge{name="a-gauge"} 1`,
+		`gpuport_rt_gauge{name="z-gauge"} 9`,
+		`gpuport_rt_counter_total{name="m-counter"} 4`,
+		`gpuport_rt_counter_total{name="ticks"} 1`,
+		`gpuport_rt_hist_sum{name="lat"} 100`,
+		`gpuport_rt_hist_count{name="lat"} 1`,
+		`gpuport_rt_hist_bucket{name="lat",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Byte-stable: the same state always writes the same bytes.
+	var again bytes.Buffer
+	if err := s.WriteMetrics(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("WriteMetrics is not byte-stable for unchanged state")
+	}
+}
+
+func TestWriteMetricsEmptyStore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New(4).WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// An empty store still reports its tick counter (liveness signal).
+	if !strings.Contains(buf.String(), `gpuport_rt_counter_total{name="ticks"} 0`) {
+		t.Fatalf("empty exposition missing ticks counter:\n%s", buf.String())
+	}
+}
+
+// TestConcurrentWritersUnderRace drives every mutating and reading
+// method from parallel goroutines; run with -race it proves the store
+// is data-race free while a ticker samples and readers stream.
+func TestConcurrentWritersUnderRace(t *testing.T) {
+	s := New(8)
+	var wg sync.WaitGroup
+	const writers = 8
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.Set(obs.TSQueueDepth, int64(i))
+				s.Inc("hits", 1)
+				s.Mark("marked", int64(i))
+				s.Observe(obs.TSLatencyPrefix+"submit", int64(i%2000))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() { // ticker
+		defer wg.Done()
+		for ts := int64(1); ts <= 200; ts++ {
+			s.Tick(ts)
+		}
+	}()
+	wg.Add(1)
+	go func() { // reader
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			s.Window(obs.TSQueueDepth, 4)
+			s.HistWindow(obs.TSLatencyPrefix+"submit", 4)
+			s.Quantile(obs.TSLatencyPrefix+"submit", 0.99)
+			s.Value("hits")
+			s.WriteMetrics(&bytes.Buffer{})
+		}
+	}()
+	wg.Wait()
+
+	if got := s.Value("hits"); got != writers*500 {
+		t.Fatalf("hits = %d, want %d", got, writers*500)
+	}
+	total, ok := s.Total(obs.TSLatencyPrefix + "submit")
+	if !ok || total.Count != writers*500 {
+		t.Fatalf("latency total count = %d,%v, want %d", total.Count, ok, writers*500)
+	}
+	if s.Ticks() != 200 {
+		t.Fatalf("Ticks = %d, want 200", s.Ticks())
+	}
+}

@@ -26,6 +26,21 @@ const (
 	HeaderResumed = "X-Gpuportd-Resumed"
 )
 
+// Endpoint labels: the obs.AttrEndpoint attribute on request spans and
+// the suffix of per-endpoint latency series (obs.TSLatencyPrefix).
+const (
+	endpointSubmit    = "submit"
+	endpointList      = "list"
+	endpointStatus    = "status"
+	endpointResult    = "result"
+	endpointEvents    = "events"
+	endpointCancel    = "cancel"
+	endpointMetrics   = "metrics"
+	endpointObsTrace  = "obs-trace"
+	endpointObsStream = "obs-stream"
+	endpointHealthz   = "healthz"
+)
+
 // Handler returns the server's HTTP API:
 //
 //	POST   /v1/campaigns              submit a campaign spec
@@ -34,24 +49,40 @@ const (
 //	GET    /v1/campaigns/{id}/result  dataset CSV (?wait=1 blocks)
 //	GET    /v1/campaigns/{id}/events  NDJSON progress stream
 //	DELETE /v1/campaigns/{id}         cancel
-//	GET    /metrics                   Prometheus metrics
+//	GET    /metrics                   Prometheus metrics (+ realtime series)
 //	GET    /debug/obs-trace           Chrome trace of the daemon
+//	GET    /debug/obs-stream          live NDJSON telemetry stream (?max=N)
 //	GET    /healthz                   liveness probe
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
-	mux.HandleFunc("GET /v1/campaigns", s.handleList)
-	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/campaigns/{id}/result", s.handleResult)
-	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
-	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /debug/obs-trace", s.handleObsTrace)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/campaigns", s.timed(endpointSubmit, s.handleSubmit))
+	mux.HandleFunc("GET /v1/campaigns", s.timed(endpointList, s.handleList))
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.timed(endpointStatus, s.handleStatus))
+	mux.HandleFunc("GET /v1/campaigns/{id}/result", s.timed(endpointResult, s.handleResult))
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.timed(endpointEvents, s.handleEvents))
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.timed(endpointCancel, s.handleCancel))
+	mux.HandleFunc("GET /metrics", s.timed(endpointMetrics, s.handleMetrics))
+	mux.HandleFunc("GET /debug/obs-trace", s.timed(endpointObsTrace, s.handleObsTrace))
+	mux.HandleFunc("GET /debug/obs-stream", s.handleObsStream)
+	mux.HandleFunc("GET /healthz", s.timed(endpointHealthz, func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = fmt.Fprintln(w, "ok") // best-effort: client may have gone away
-	})
+	}))
 	return mux
+}
+
+// timed observes the handler's latency into the endpoint's time-series
+// histogram. The clock is the recorder's (time.Now is confined to the
+// instrumentation layers), and the series lives under the realtime
+// prefix, so latency never touches canonical artifacts. The streaming
+// endpoints' "latency" is connection lifetime; /debug/obs-stream is
+// not timed at all, since watching the stream should not feed it.
+func (s *Server) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := s.rec.NowNS()
+		h(w, r)
+		s.tsdb.Observe(obs.TSLatencyPrefix+endpoint, s.rec.NowNS()-start)
+	}
 }
 
 // writeJSON sends a canonical JSON body.
@@ -188,7 +219,59 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// Deterministic families first, then the realtime (gpuport_rt_)
+	// time-series block, which CanonicalMetrics strips.
 	_ = obs.WriteMetrics(w, s.Snapshot()) // best-effort: client may have gone away
+	_ = s.tsdb.WriteMetrics(w)            // best-effort: client may have gone away
+}
+
+// handleObsStream serves the recorder's live telemetry as NDJSON: one
+// StreamEvent per line, written as spans close and counters move. The
+// stream runs until the client disconnects, the server closes, or -
+// with ?max=N - after N events (the self-terminating form scripts use).
+func (s *Server) handleObsStream(w http.ResponseWriter, r *http.Request) {
+	maxEvents := 0
+	if v := r.URL.Query().Get("max"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, &Error{Status: http.StatusBadRequest, Code: "bad_max", Message: fmt.Sprintf("max must be a positive integer, got %q", v)})
+			return
+		}
+		maxEvents = n
+	}
+	// A deep buffer rides out bursts of span closes from the worker
+	// pools; a watcher that still cannot keep up drops events rather
+	// than stalling the instrumented paths.
+	events, cancel := s.rec.Watch(1024)
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	var buf []byte
+	sent := 0
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return
+		case ev := <-events:
+			buf = ev.AppendNDJSON(buf[:0])
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			sent++
+			if maxEvents > 0 && sent >= maxEvents {
+				return
+			}
+		}
+	}
 }
 
 func (s *Server) handleObsTrace(w http.ResponseWriter, r *http.Request) {

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"gpuport/internal/measure"
+	"gpuport/internal/obs"
 )
 
 // State is the lifecycle state of a campaign job.
@@ -92,6 +93,26 @@ type Status struct {
 	Error       string         `json:"error,omitempty"`
 }
 
+// Outcome values of the submit-outcome telemetry event (the
+// obs.AttrOutcome attribute on the request span).
+const (
+	// OutcomeQueued: a fresh job was enqueued.
+	OutcomeQueued = "queued"
+	// OutcomeRequeued: a failed or canceled campaign was enqueued again
+	// (it resumes from its checkpoint when one exists).
+	OutcomeRequeued = "requeued"
+	// OutcomeDeduped: the submission attached to a live job already
+	// computing this fingerprint.
+	OutcomeDeduped = "deduped"
+	// OutcomeCached: the submission was answered from the persisted job
+	// store without running anything.
+	//lint:allow obsliteral coincides with the unrelated obs.AttrCached attribute key
+	OutcomeCached = "cached"
+	// OutcomeRejected: the spec failed validation (or the server is
+	// shutting down).
+	OutcomeRejected = "rejected"
+)
+
 // Source values reported in the X-Gpuportd-Source response header.
 const (
 	// SourceFresh: the result was measured by this server process.
@@ -119,9 +140,16 @@ type Job struct {
 	// done is closed when the job reaches a terminal state.
 	done chan struct{}
 
+	// trace is the job's content-addressed request trace ID and reqSpan
+	// the submitting HTTP request span; both are pinned under the
+	// server mutex before the job becomes dequeueable.
+	trace   uint64
+	reqSpan uint64
+
 	mu        sync.Mutex
 	state     State
 	source    string
+	waitSpan  *obs.SpanHandle
 	traceDone int
 	sweepDone int
 	resumed   int
@@ -304,11 +332,11 @@ func marshalCanonical(v any) []byte {
 func (j *Job) notify(phase string, done, total int) {
 	j.mu.Lock()
 	switch phase {
-	case "trace":
+	case obs.StageTrace:
 		if done > j.traceDone {
 			j.traceDone = done
 		}
-	case "sweep":
+	case obs.StageSweep:
 		if done > j.sweepDone {
 			j.sweepDone = done
 		}
@@ -349,6 +377,15 @@ func (j *Job) subscribe() (<-chan Event, func()) {
 			delete(j.subs, id)
 			close(ch)
 		}
+	}
+}
+
+// endWaitLocked closes the job's queue-wait span (no-op when none is
+// open). Callers hold j.mu.
+func (j *Job) endWaitLocked() {
+	if j.waitSpan != nil {
+		j.waitSpan.End()
+		j.waitSpan = nil
 	}
 }
 

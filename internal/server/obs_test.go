@@ -1,0 +1,297 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"gpuport/internal/obs"
+	"gpuport/internal/tracecache"
+)
+
+// connectedTraceRun boots a tracing server, submits the golden spec
+// over HTTP, waits for completion and returns the raw and canonical
+// Chrome trace exports. Campaigns stays fixed (runner lane names are
+// part of the export); workers is the per-campaign pool size, which
+// must never change a single canonical byte.
+func connectedTraceRun(t *testing.T, workers int) (raw, canonical []byte) {
+	t.Helper()
+	_, ts := httpServer(t, Config{
+		Campaigns: 2,
+		Workers:   workers,
+		Obs:       obs.New().EnableSim(),
+	})
+	resp, body := postJSON(t, ts.URL+"/v1/campaigns", testSpecJSON)
+	if resp.StatusCode != 200 {
+		t.Fatalf("submit status = %d: %s", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	resp, result := get(t, ts.URL+"/v1/campaigns/"+st.ID+"/result?wait=1")
+	if resp.StatusCode != 200 {
+		t.Fatalf("result status = %d: %s", resp.StatusCode, result)
+	}
+	_, raw = get(t, ts.URL+"/debug/obs-trace")
+	canonical, err := obs.CanonicalTrace(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, canonical
+}
+
+// traceSpan is the decoded identity of one exported complete event.
+type traceSpan struct {
+	id, parent, trace, links string
+}
+
+// spansByName indexes a raw Chrome trace's complete events by name.
+func spansByName(t *testing.T, raw []byte) map[string][]traceSpan {
+	t.Helper()
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not Chrome trace JSON: %v", err)
+	}
+	str := func(args map[string]any, key string) string {
+		s, _ := args[key].(string)
+		return s
+	}
+	out := map[string][]traceSpan{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		out[ev.Name] = append(out[ev.Name], traceSpan{
+			id:     str(ev.Args, "id"),
+			parent: str(ev.Args, "parent"),
+			trace:  str(ev.Args, "trace"),
+			links:  str(ev.Args, "links"),
+		})
+	}
+	return out
+}
+
+// TestConnectedTraceGolden proves the tentpole contract: one campaign
+// submitted over HTTP yields a single connected trace - request,
+// validate, enqueue, queue-wait, campaign and pipeline spans all under
+// one content-addressed trace ID - whose canonical export is
+// byte-identical across runs and across worker counts, pinned by a
+// golden file.
+func TestConnectedTraceGolden(t *testing.T) {
+	raw, first := connectedTraceRun(t, 1)
+	_, again := connectedTraceRun(t, 1)
+	_, wide := connectedTraceRun(t, 4)
+
+	if !bytes.Equal(first, again) {
+		t.Fatal("canonical trace differs between two identical runs")
+	}
+	if !bytes.Equal(first, wide) {
+		t.Fatal("canonical trace differs between workers=1 and workers=4")
+	}
+	golden(t, "obs_trace.golden.txt", first)
+
+	spans := spansByName(t, raw)
+	for _, name := range []string{
+		obs.SpanHTTPRequest, obs.SpanValidate, obs.SpanEnqueue,
+		obs.SpanQueueWait, obs.SpanCampaign, obs.SpanTracePair,
+		obs.SpanSweepJob, obs.SpanSimTimeline,
+	} {
+		if len(spans[name]) == 0 {
+			t.Fatalf("trace has no %q span", name)
+		}
+	}
+	req := spans[obs.SpanHTTPRequest][0]
+	if req.trace == "" {
+		t.Fatal("request span carries no trace ID")
+	}
+	// Every span of the campaign's journey shares the request's trace.
+	for name, list := range spans {
+		for _, sp := range list {
+			if sp.trace != req.trace {
+				t.Errorf("%s span trace = %q, want %q (one connected trace)", name, sp.trace, req.trace)
+			}
+		}
+	}
+	// The async handoff: queue-wait hangs off the request span, and the
+	// runner's campaign span links back to it across the queue boundary.
+	if got := spans[obs.SpanQueueWait][0].parent; got != req.id {
+		t.Errorf("queue-wait parent = %q, want request span %q", got, req.id)
+	}
+	camp := spans[obs.SpanCampaign][0]
+	if !strings.Contains(camp.links, req.id) {
+		t.Errorf("campaign links = %q, want to include request span %q", camp.links, req.id)
+	}
+	// The pipeline's stage roots were re-parented under the campaign
+	// span, so every pipeline span's ancestry reaches the campaign.
+	parentOf := map[string]string{}
+	for _, list := range spans {
+		for _, sp := range list {
+			parentOf[sp.id] = sp.parent
+		}
+	}
+	reaches := func(id, ancestor string) bool {
+		for hops := 0; id != "" && hops < 32; hops++ {
+			if id == ancestor {
+				return true
+			}
+			id = parentOf[id]
+		}
+		return false
+	}
+	for _, name := range []string{obs.SpanTracePair, obs.SpanSweepJob} {
+		for _, sp := range spans[name] {
+			if !reaches(sp.id, camp.id) {
+				t.Errorf("%s span %q does not descend from campaign span %q", name, sp.id, camp.id)
+			}
+		}
+	}
+}
+
+// TestCanonicalMetricsStableAcrossRuns proves the /metrics surface -
+// with the realtime tsdb block stripped alongside the stage-seconds
+// family - is byte-identical across runs and worker counts too.
+func TestCanonicalMetricsStableAcrossRuns(t *testing.T) {
+	fetch := func(workers int) []byte {
+		s, ts := httpServer(t, Config{Campaigns: 2, Workers: workers, Obs: obs.New().EnableSim()})
+		j := submit(t, s, testSpec())
+		waitDone(t, j)
+		s.Sample(1_000_000_000) // realtime block must not leak into canonical bytes
+		_, metrics := get(t, ts.URL+"/metrics")
+		return obs.CanonicalMetrics(metrics)
+	}
+	first := fetch(1)
+	if len(first) == 0 {
+		t.Fatal("canonical metrics are empty")
+	}
+	if bytes.Contains(first, []byte(obs.RealtimePrefix)) {
+		t.Fatalf("canonical metrics still contain realtime series:\n%s", first)
+	}
+	if wide := fetch(4); !bytes.Equal(first, wide) {
+		t.Fatalf("canonical metrics differ between workers=1 and workers=4:\n--- w1\n%s\n--- w4\n%s", first, wide)
+	}
+}
+
+// TestServerSampleTelemetry drives the virtual-clock tick and checks
+// the time-series store and its /metrics block.
+func TestServerSampleTelemetry(t *testing.T) {
+	cache, err := tracecache.Open(t.TempDir(), 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := httpServer(t, Config{TraceCache: cache})
+	resp, body := postJSON(t, ts.URL+"/v1/campaigns", testSpecJSON)
+	if resp.StatusCode != 200 {
+		t.Fatalf("submit status = %d: %s", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	j, ok := s.Get(st.ID)
+	if !ok {
+		t.Fatal("submitted job not registered")
+	}
+	waitDone(t, j)
+
+	s.Sample(1_000_000_000)
+	s.Sample(2_000_000_000)
+	store := s.Metrics()
+	if store.Ticks() != 2 {
+		t.Fatalf("Ticks = %d, want 2", store.Ticks())
+	}
+	if pts := store.Window(obs.TSQueueDepth, 4); len(pts) != 2 || pts[1].Value != 0 {
+		t.Fatalf("queue-depth window = %+v, want 2 samples ending at 0", pts)
+	}
+	// The submit was timed by the HTTP middleware.
+	if h, ok := store.Total(obs.TSLatencyPrefix + endpointSubmit); !ok || h.Count != 1 {
+		t.Fatalf("submit latency total = %+v,%v, want one observation", h, ok)
+	}
+	// The campaign traced two (chip, pair) jobs against an empty cache:
+	// misses were mirrored from the daemon recorder by Sample.
+	if v := store.Value(obs.CtrCacheMisses); v < 1 {
+		t.Fatalf("mirrored %s = %d, want >= 1", obs.CtrCacheMisses, v)
+	}
+
+	_, metrics := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		obs.RealtimePrefix + `gauge{name="queue-depth"} 0`,
+		obs.RealtimePrefix + `counter_total{name="ticks"} 2`,
+		obs.RealtimePrefix + `hist_count{name="http-latency:submit"}`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestHTTPObsStream reads the live NDJSON telemetry stream while a
+// campaign runs: every line parses as a StreamEvent, span and counter
+// events both appear, and the campaign's spans carry its trace ID.
+func TestHTTPObsStream(t *testing.T) {
+	s, ts := httpServer(t, Config{})
+
+	// The stream registers its watcher before responding with headers,
+	// so events published after this Get returns cannot be missed.
+	stream, err := http.Get(ts.URL + "/debug/obs-stream?max=12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if ct := stream.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content-type = %q", ct)
+	}
+
+	j := submit(t, s, testSpec())
+	waitDone(t, j)
+
+	var events []obs.StreamEvent
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		var ev obs.StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 12 {
+		t.Fatalf("stream delivered %d events, want 12 (max)", len(events))
+	}
+	kinds := map[string]int{}
+	var traced int
+	for _, ev := range events {
+		kinds[ev.Kind]++
+		if ev.Kind == obs.StreamSpan && ev.Trace != "" {
+			traced++
+		}
+	}
+	if kinds[obs.StreamSpan] == 0 || kinds[obs.StreamCounter] == 0 {
+		t.Fatalf("stream kinds = %v, want both span and counter events", kinds)
+	}
+	if traced == 0 {
+		t.Fatal("no streamed span carried a trace ID")
+	}
+}
+
+// TestHTTPObsStreamBadMax pins the 400 for a malformed max parameter.
+func TestHTTPObsStreamBadMax(t *testing.T) {
+	_, ts := pausedServer(t)
+	for _, q := range []string{"max=0", "max=-1", "max=nope"} {
+		resp, body := get(t, ts.URL+"/debug/obs-stream?"+q)
+		if resp.StatusCode != 400 {
+			t.Errorf("%s: status = %d, want 400: %s", q, resp.StatusCode, body)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"gpuport/internal/measure"
 	"gpuport/internal/obs"
+	"gpuport/internal/obs/tsdb"
 	"gpuport/internal/tracecache"
 )
 
@@ -40,10 +41,14 @@ type Config struct {
 	// completed (chip, trace) sweep jobs (0 means the measure default).
 	CheckpointEvery int
 	// Obs is the daemon-lifetime recorder behind /metrics and the debug
-	// trace: per-job counters are folded into it when jobs finish, and
-	// each runner records one campaign span per job on its lane. When
+	// trace: each runner records one campaign span per job on its lane,
+	// and a finished job's recorder (spans, counters, histograms, stage
+	// timers) is adopted into it as one connected request trace. When
 	// nil a private recorder is created.
 	Obs *obs.Recorder
+	// MetricsWindow is how many telemetry ticks the in-process
+	// time-series store retains per series (0 means the tsdb default).
+	MetricsWindow int
 }
 
 // Server schedules campaign jobs onto a fixed pool of runners. Jobs
@@ -56,6 +61,7 @@ type Server struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	rec    *obs.Recorder
+	tsdb   *tsdb.Store
 	wg     sync.WaitGroup
 
 	// wake nudges idle runners when work arrives. Buffered with
@@ -67,6 +73,7 @@ type Server struct {
 	jobs   map[string]*Job
 	q      queue
 	seq    uint64
+	busy   int64
 	closed bool
 }
 
@@ -93,6 +100,7 @@ func New(cfg Config) (*Server, error) {
 		ctx:    ctx,
 		cancel: cancel,
 		rec:    cfg.Obs,
+		tsdb:   tsdb.New(cfg.MetricsWindow),
 		wake:   make(chan struct{}, 1024),
 		jobs:   map[string]*Job{},
 	}
@@ -101,8 +109,14 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.runner(ctx, lane)
 	}
+	// The HTTP front end records its request spans one lane past the
+	// runner pool.
+	s.rec.NameLane(obs.TrackReal, s.httpLane(), obs.LaneHTTP)
 	return s, nil
 }
+
+// httpLane is the real-track lane of the HTTP front end.
+func (s *Server) httpLane() int { return s.cfg.Campaigns }
 
 // Close stops the server: it cancels every in-flight campaign (their
 // checkpoints survive for resumption), fails the queue over to the
@@ -117,10 +131,12 @@ func (s *Server) Close() {
 	s.closed = true
 	for j := s.q.pop(); j != nil; j = s.q.pop() {
 		j.mu.Lock()
+		j.endWaitLocked()
 		j.finishLocked(StateCanceled)
 		j.mu.Unlock()
 		s.rec.Add(obs.CtrJobsCanceled, 1)
 	}
+	s.tsdb.Set(obs.TSQueueDepth, 0)
 	s.mu.Unlock()
 	s.cancel()
 	s.wg.Wait()
@@ -129,6 +145,41 @@ func (s *Server) Close() {
 // Snapshot returns the daemon recorder's observability snapshot
 // (counters, campaign spans, folded per-job totals).
 func (s *Server) Snapshot() *obs.Snapshot { return s.rec.Snapshot() }
+
+// Obs returns the daemon-lifetime recorder (the live-stream source).
+func (s *Server) Obs() *obs.Recorder { return s.rec }
+
+// Metrics returns the server's in-process time-series store.
+func (s *Server) Metrics() *tsdb.Store { return s.tsdb }
+
+// Sample takes one telemetry tick at the given timestamp: it refreshes
+// the queue-depth gauge, mirrors the trace-cache counters into the
+// time-series store and snapshots every series into its ring. The
+// caller owns the clock (the daemon ticks wall time, tests tick a
+// virtual clock), so the store itself never reads one.
+func (s *Server) Sample(tsNS int64) {
+	s.mu.Lock()
+	depth := int64(s.q.len())
+	s.mu.Unlock()
+	s.tsdb.Set(obs.TSQueueDepth, depth)
+	for _, c := range s.rec.Summary().Counters {
+		switch c.Name {
+		case obs.CtrCacheHits, obs.CtrCacheMisses, obs.CtrCacheMismatches,
+			obs.CtrCachePutErrors, obs.CtrCacheEvictions, obs.CtrCacheCorrupt:
+			s.tsdb.Mark(c.Name, c.Value)
+		}
+	}
+	s.tsdb.Tick(tsNS)
+}
+
+// setBusy moves the runners-busy gauge by delta.
+func (s *Server) setBusy(delta int64) {
+	s.mu.Lock()
+	s.busy += delta
+	b := s.busy
+	s.mu.Unlock()
+	s.tsdb.Set(obs.TSRunnersBusy, b)
+}
 
 // Get returns the job with the given id.
 func (s *Server) Get(id string) (*Job, bool) {
@@ -162,25 +213,47 @@ func (s *Server) Jobs() []*Job {
 // always answers in the "queued" form, a cache hit always answers with
 // the persisted "done" form.
 func (s *Server) Submit(spec Spec) (j *Job, body []byte, errs *Error) {
+	lane := s.httpLane()
 	spec, camp, errs := spec.Resolve()
 	if errs != nil {
+		// A rejected spec has no fingerprint, so every rejection shares
+		// one deterministic request-span identity and no trace.
+		req := s.rec.StartSpan(obs.SpanHTTPRequest, lane, obs.String(obs.AttrEndpoint, endpointSubmit))
+		req.StartSpan(obs.SpanValidate, lane).End()
+		req.Event(obs.EvSubmitOutcome, obs.String(obs.AttrOutcome, OutcomeRejected))
+		req.End()
 		return nil, nil, errs
 	}
 	fp := camp.Fingerprint()
 	id := fp[:16]
 
+	// The request trace is content-addressed: every submission of the
+	// same campaign joins the same trace, in every run and process.
+	trace := obs.NewTraceID(obs.SpanCampaign, fp)
+	req := s.rec.StartSpan(obs.SpanHTTPRequest, lane,
+		obs.String(obs.AttrEndpoint, endpointSubmit), obs.String(obs.AttrJob, id)).InTrace(trace)
+	defer req.End()
+	// The span is created after Resolve has run (its identity needs the
+	// fingerprint), so the validate child records structure, not timing;
+	// real-track durations are non-canonical anyway.
+	req.StartSpan(obs.SpanValidate, lane).End()
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
+		req.Event(obs.EvSubmitOutcome, obs.String(obs.AttrOutcome, OutcomeRejected))
 		return nil, nil, &Error{Status: 503, Code: "shutting_down", Message: "server is shutting down"}
 	}
+	outcome := OutcomeQueued
 	if j, ok := s.jobs[id]; ok {
 		switch j.State() {
 		case StateFailed, StateCanceled:
 			// Retry: fall through to enqueue a fresh job object under
 			// the same id; its checkpoint (if any) makes it a resume.
+			outcome = OutcomeRequeued
 		default:
 			s.rec.Add(obs.CtrJobsDeduped, 1)
+			req.Event(obs.EvSubmitOutcome, obs.String(obs.AttrOutcome, OutcomeDeduped))
 			return j, j.StatusBytes(), nil
 		}
 	}
@@ -197,16 +270,26 @@ func (s *Server) Submit(spec Spec) (j *Job, body []byte, errs *Error) {
 		close(j.done)
 		s.jobs[id] = j
 		s.rec.Add(obs.CtrJobsCached, 1)
+		req.Event(obs.EvSubmitOutcome, obs.String(obs.AttrOutcome, OutcomeCached))
 		return j, status, nil
 	}
 
 	// Snapshot the queued body while still holding s.mu: runners
 	// dequeue under the same mutex, so no execution state can leak into
 	// a submission response.
+	enq := req.StartSpan(obs.SpanEnqueue, lane)
 	body = j.StatusBytes()
+	j.trace = trace
+	j.reqSpan = req.ID()
+	// The queue-wait span stays open until a runner dequeues the job
+	// (or it is canceled while queued); see endWaitLocked.
+	j.waitSpan = req.StartSpan(obs.SpanQueueWait, lane)
 	s.jobs[id] = j
 	s.q.push(j)
 	s.rec.Add(obs.CtrJobsSubmitted, 1)
+	enq.End()
+	req.Event(obs.EvSubmitOutcome, obs.String(obs.AttrOutcome, outcome))
+	s.tsdb.Set(obs.TSQueueDepth, int64(s.q.len()))
 	select {
 	case s.wake <- struct{}{}:
 	default:
@@ -226,9 +309,11 @@ func (s *Server) Cancel(id string) (*Job, *Error) {
 	}
 	if q := s.q.remove(id); q != nil {
 		j.mu.Lock()
+		j.endWaitLocked()
 		j.finishLocked(StateCanceled)
 		j.mu.Unlock()
 		s.rec.Add(obs.CtrJobsCanceled, 1)
+		s.tsdb.Set(obs.TSQueueDepth, int64(s.q.len()))
 		return j, nil
 	}
 	j.mu.Lock()
@@ -253,9 +338,11 @@ func (s *Server) next() *Job {
 		return nil
 	}
 	j.mu.Lock()
+	j.endWaitLocked()
 	j.state = StateRunning
 	j.publishLocked(Event{State: StateRunning})
 	j.mu.Unlock()
+	s.tsdb.Set(obs.TSQueueDepth, int64(s.q.len()))
 	return j
 }
 
@@ -288,9 +375,25 @@ func (s *Server) runner(ctx context.Context, lane int) {
 // cache is the only cross-job resource, and it is keyed by content, so
 // sharing never changes bytes.
 func (s *Server) runJob(ctx context.Context, lane int, j *Job) {
-	span := s.rec.StartSpan(obs.SpanCampaign, lane, obs.String(obs.AttrJob, j.id))
+	s.setBusy(1)
+	defer s.setBusy(-1)
+	// j.trace/j.reqSpan were pinned before the job became dequeueable
+	// (under s.mu in Submit), so reading them without j.mu is safe.
+	span := s.rec.StartSpan(obs.SpanCampaign, lane, obs.String(obs.AttrJob, j.id)).InTrace(j.trace)
+	span.Link(j.reqSpan)
 
+	// The job's private recorder mirrors the daemon's capture level so
+	// its pipeline spans can be adopted into the request trace when the
+	// job finishes; while it runs, ForwardTo feeds them to live-stream
+	// watchers stamped with the trace and the campaign span as parent.
 	jrec := obs.New()
+	if s.rec.TracingEnabled() {
+		jrec.EnableTracing()
+	}
+	if s.rec.SimEnabled() {
+		jrec.EnableSim()
+	}
+	jrec.ForwardTo(s.rec, j.trace, span.ID())
 	env := measure.Env{
 		Workers:    s.cfg.Workers,
 		TraceCache: s.cfg.TraceCache,
@@ -312,43 +415,43 @@ func (s *Server) runJob(ctx context.Context, lane int, j *Job) {
 	j.mu.Unlock()
 
 	ds, rep, err := j.camp.Run(jctx, env)
-	s.foldCounters(jrec)
+	// Adoption folds the whole job recorder - counters, histograms,
+	// stage timers and (when tracing) its spans and events, re-parented
+	// under the campaign span as one connected trace - into the daemon
+	// recorder behind /metrics and /debug/obs-trace. Both the adoption
+	// and the span close happen before the job turns terminal, so a
+	// client woken by the done channel always sees the full trace.
+	s.rec.Adopt(jrec.Snapshot(), j.trace, span.ID())
+	span.End()
 
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.cancel = nil
+	// Counters are bumped before finishLocked closes the done channel:
+	// a woken waiter must see the terminal counter state.
 	switch {
 	case err != nil && (j.canceling || ctx.Err() != nil):
 		j.errMsg = ""
-		j.finishLocked(StateCanceled)
 		s.rec.Add(obs.CtrJobsCanceled, 1)
+		j.finishLocked(StateCanceled)
 	case err != nil:
 		j.errMsg = err.Error()
-		j.finishLocked(StateFailed)
 		s.rec.Add(obs.CtrJobsFailed, 1)
+		j.finishLocked(StateFailed)
 	default:
 		var buf bytes.Buffer
 		if werr := ds.WriteCSV(&buf); werr != nil {
 			j.errMsg = werr.Error()
-			j.finishLocked(StateFailed)
 			s.rec.Add(obs.CtrJobsFailed, 1)
+			j.finishLocked(StateFailed)
 			break
 		}
 		j.report = rep
 		j.resumed = rep.Resumed
 		j.result = buf.Bytes()
-		j.finishLocked(StateDone)
 		s.rec.Add(obs.CtrJobsCompleted, 1)
+		j.finishLocked(StateDone)
 		s.persist(j)
-	}
-	span.End()
-}
-
-// foldCounters accumulates a finished job's counters into the daemon
-// recorder, so /metrics reports totals across all jobs.
-func (s *Server) foldCounters(jrec *obs.Recorder) {
-	for _, c := range jrec.Summary().Counters {
-		s.rec.Add(c.Name, c.Value)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -38,9 +39,14 @@ func DefaultConfig() Config {
 			"gpuport/internal/conform.Properties",
 			"gpuport/internal/conform.check*",
 			// Canonical observability exports: golden-tested
-			// byte-for-byte across runs and worker counts.
+			// byte-for-byte across runs and worker counts. Trace IDs are
+			// content-addressed, stream lines and the realtime metrics
+			// block are canonical by construction.
 			"gpuport/internal/obs.CanonicalTrace",
 			"gpuport/internal/obs.CanonicalMetrics",
+			"gpuport/internal/obs.NewTraceID",
+			"gpuport/internal/obs.StreamEvent.AppendNDJSON",
+			"gpuport/internal/obs/tsdb.Store.WriteMetrics",
 			// The campaign server: job identity (content-addressed
 			// fingerprints), spec resolution and the scheduling queue
 			// must be wall-clock- and randomness-free, or cached
@@ -59,6 +65,7 @@ func DefaultConfig() Config {
 		CtxBackgroundAllowed: []string{"cmd/"},
 		MapRangeScope:        []string{"internal/"},
 		ObsPath:              "internal/obs",
+		ObsLiteralScope:      []string{"internal/server", "cmd/gpuportd"},
 	}
 }
 
@@ -72,6 +79,7 @@ func Analyzers() []*Analyzer {
 		{Name: "globalrand", Doc: "math/rand only inside the seeded stats layer", Run: runGlobalRand},
 		{Name: "maprange", Doc: "no map iteration feeding an encoder or an ordered collection without a sort", Run: runMapRange},
 		{Name: "mutexlock", Doc: "no mutex copies; every Lock has a matching Unlock in the same function", Run: runMutexLock},
+		{Name: "obsliteral", Doc: "string literals in the server layers must not duplicate obs name constants (use the constant)", Run: runObsLiteral},
 		{Name: "obsnames", Doc: "obs span/counter/event/attr names must be constants declared in the obs package", Run: runObsNames},
 		{Name: "walltime", Doc: "time.Now/Since confined to the instrumentation layers and entry points", Run: runWallTime},
 	}
@@ -586,6 +594,7 @@ var obsNameArg = map[string]int{
 	"MergeHist":   0,
 	"NameLane":    2,
 	"SimSpan":     2,
+	"MergeStage":  0,
 	"String":      0,
 	"Int":         0,
 	"Bool":        0,
@@ -631,6 +640,70 @@ func runObsNames(pass *Pass) {
 			})
 		}
 	}
+}
+
+// --- obsliteral -----------------------------------------------------
+
+// runObsLiteral is obsnames' converse, scoped to the server layers:
+// a raw string literal whose value coincides with an exported obs name
+// constant works today but is detached from names.go, so a rename
+// there silently forks the export schema (exactly the drift obsnames
+// cannot see, because the literal never flows into a recorder call).
+// Struct tags and import paths are exempt - they are schemas of their
+// own - as is the obs package itself.
+func runObsLiteral(pass *Pass) {
+	// Exported string constant values declared by the obs package.
+	// Scope.Names is sorted, so a value shared by two constants resolves
+	// to the same name on every run.
+	values := map[string]string{}
+	for _, pkg := range pass.Prog.Packages {
+		if pkg.Rel != pass.Config.ObsPath {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok || !c.Exported() || c.Val().Kind() != constant.String {
+				continue
+			}
+			v := constant.StringVal(c.Val())
+			if _, taken := values[v]; !taken {
+				values[v] = name
+			}
+		}
+	}
+	if len(values) == 0 {
+		return
+	}
+	eachScopedFile(pass, pass.Config.ObsLiteralScope, func(pkg *Package, file *ast.File) {
+		exempt := map[token.Pos]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Field:
+				if n.Tag != nil {
+					exempt[n.Tag.Pos()] = true
+				}
+			case *ast.ImportSpec:
+				exempt[n.Path.Pos()] = true
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING || exempt[lit.Pos()] {
+				return true
+			}
+			v, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if name, ok := values[v]; ok {
+				pass.Reportf(lit.Pos(), "string literal %q duplicates obs.%s; use the constant so a rename in %s/names.go cannot fork the export schema",
+					v, name, pass.Config.ObsPath)
+			}
+			return true
+		})
+	})
 }
 
 // constOf resolves an expression to the constant object it names, or

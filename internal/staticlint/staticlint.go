@@ -113,6 +113,9 @@ type Config struct {
 	// ObsPath is the module-relative path of the observability package
 	// whose name constants the obsnames rule enforces.
 	ObsPath string
+	// ObsLiteralScope is where raw string literals duplicating an obs
+	// name constant's value are violations (the obsliteral rule).
+	ObsLiteralScope []string
 }
 
 // Result is a finished engine run.

@@ -34,6 +34,7 @@ func fixtureConfig() staticlint.Config {
 		CtxBackgroundAllowed: []string{"cmd/"},
 		MapRangeScope:        []string{"internal/"},
 		ObsPath:              "internal/obs",
+		ObsLiteralScope:      []string{"internal/obsemit"},
 	}
 }
 
@@ -86,6 +87,9 @@ func TestAnalyzerFixtures(t *testing.T) {
 			"internal/mu/mu.go:23", // Lock without Unlock
 			"internal/mu/mu.go:28", // value receiver
 			"internal/mu/mu.go:34", // assignment copy
+		},
+		"obsliteral": {
+			"internal/obsemit/emit.go:29", // raw literal duplicating obs.CtrHits (tag on :23 exempt)
 		},
 		"obsnames": {
 			"internal/obsemit/emit.go:13", // literal name
@@ -234,6 +238,9 @@ func TestProofSetNames(t *testing.T) {
 		"gpuport/internal/conform.check*",
 		"gpuport/internal/obs.CanonicalTrace",
 		"gpuport/internal/obs.CanonicalMetrics",
+		"gpuport/internal/obs.NewTraceID",
+		"gpuport/internal/obs.StreamEvent.AppendNDJSON",
+		"gpuport/internal/obs/tsdb.Store.WriteMetrics",
 		"gpuport/internal/measure.Campaign.Fingerprint",
 		"gpuport/internal/server.Spec.Resolve",
 		"gpuport/internal/server.queue.*",

@@ -16,3 +16,15 @@ func Emit(r *obs.Recorder, kernel string) {
 	_ = obs.String(obs.AttrPath, kernel)
 	_ = obs.String("adhoc.attr", kernel)
 }
+
+// payload exercises obsliteral's struct-tag exemption: a tag may spell
+// an obs value (wire schemas are their own contract).
+type payload struct {
+	Hits int64 `json:"cache.hits"`
+}
+
+// Describe returns a raw literal duplicating obs.CtrHits - the drift
+// obsliteral exists to flag - next to a clean unrelated literal.
+func Describe() (string, string) {
+	return "cache.hits", "unrelated"
+}

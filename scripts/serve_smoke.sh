@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # serve_smoke.sh - end-to-end smoke test of the gpuportd campaign
-# server. Boots the daemon on an ephemeral port, submits the default
-# full-study campaign over HTTP, polls status to completion, fetches
-# the result CSV and diffs it byte-for-byte against the gpuport CLI's
-# dataset for the same seed. Also scrapes /metrics and the daemon's
-# Chrome trace so CI can upload them as artifacts.
+# server. Boots the daemon on an ephemeral port, captures its live
+# telemetry stream, submits the default full-study campaign over HTTP,
+# polls status to completion, fetches the result CSV and diffs it
+# byte-for-byte against the gpuport CLI's dataset for the same seed.
+# A second, overlapping campaign then exercises the shared trace cache
+# (its traces were already produced by the full study, so it must
+# generate cache hits). Also scrapes /metrics and the daemon's Chrome
+# trace, and leaves the NDJSON stream capture behind, so CI can upload
+# them as artifacts and `make obs-slo` can evaluate SLO floors.
 #
 # Requires: curl, jq, go. Run from the repository root (`make
 # serve-smoke`).
@@ -14,8 +18,13 @@ SEED=42
 RUNS=3
 WORKDIR=$(mktemp -d)
 DAEMON_PID=""
+STREAM_PID=""
 
 cleanup() {
+    if [ -n "$STREAM_PID" ] && kill -0 "$STREAM_PID" 2>/dev/null; then
+        kill "$STREAM_PID" 2>/dev/null || true
+        wait "$STREAM_PID" 2>/dev/null || true
+    fi
     if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
         kill "$DAEMON_PID" 2>/dev/null || true
         wait "$DAEMON_PID" 2>/dev/null || true
@@ -46,25 +55,40 @@ echo "   $BASE"
 
 curl -fsS "$BASE/healthz" > /dev/null
 
+echo "== capturing live telemetry stream"
+curl -sN "$BASE/debug/obs-stream" -o gpuportd-stream.ndjson &
+STREAM_PID=$!
+
+# submit POSTs a campaign spec and prints its id.
+submit() {
+    local resp
+    resp=$(curl -fsS -X POST "$BASE/v1/campaigns" \
+        -H 'Content-Type: application/json' -d "$1")
+    echo "   campaign $(echo "$resp" | jq -r .id) ($(echo "$resp" | jq -r .cells) cells)" >&2
+    echo "$resp" | jq -r .id
+}
+
+# poll_done polls a campaign id until it reaches the done state.
+poll_done() {
+    local id=$1 state="queued" status
+    for _ in $(seq 1 600); do
+        status=$(curl -fsS "$BASE/v1/campaigns/$id")
+        state=$(echo "$status" | jq -r .state)
+        case "$state" in
+            done) return 0 ;;
+            failed|canceled) echo "campaign $state: $status"; return 1 ;;
+        esac
+        sleep 0.5
+    done
+    echo "campaign still $state after poll budget"
+    return 1
+}
+
 echo "== submitting default full-study campaign (seed $SEED, runs $RUNS)"
-SUBMIT=$(curl -fsS -X POST "$BASE/v1/campaigns" \
-    -H 'Content-Type: application/json' \
-    -d "{\"seed\":$SEED,\"runs\":$RUNS}")
-ID=$(echo "$SUBMIT" | jq -r .id)
-echo "   campaign $ID ($(echo "$SUBMIT" | jq -r .cells) cells)"
+ID=$(submit "{\"seed\":$SEED,\"runs\":$RUNS}")
 
 echo "== polling to completion"
-STATE="queued"
-for _ in $(seq 1 600); do
-    STATUS=$(curl -fsS "$BASE/v1/campaigns/$ID")
-    STATE=$(echo "$STATUS" | jq -r .state)
-    case "$STATE" in
-        done) break ;;
-        failed|canceled) echo "campaign $STATE: $STATUS"; exit 1 ;;
-    esac
-    sleep 0.5
-done
-[ "$STATE" = "done" ] || { echo "campaign still $STATE after poll budget"; exit 1; }
+poll_done "$ID"
 echo "   $(curl -fsS "$BASE/v1/campaigns/$ID" | jq -c .result)"
 
 echo "== fetching server result"
@@ -77,10 +101,23 @@ echo "== diffing server vs CLI datasets"
 cmp "$WORKDIR/server.csv" "$WORKDIR/cli.csv"
 echo "   byte-identical ($(wc -c < "$WORKDIR/server.csv") bytes)"
 
+echo "== submitting overlapping campaign (shared trace cache must hit)"
+ID2=$(submit "{\"seed\":$SEED,\"runs\":$RUNS,\"apps\":[\"bfs-wl\"]}")
+poll_done "$ID2"
+
 echo "== scraping observability artifacts"
 curl -fsS "$BASE/metrics" -o gpuportd-metrics.prom
 curl -fsS "$BASE/debug/obs-trace" -o gpuportd-obs-trace.json
-grep -q 'gpuport_counter_total{name="jobs-completed"} 1' gpuportd-metrics.prom
+grep -q 'gpuport_counter_total{name="jobs-completed"} 2' gpuportd-metrics.prom
+grep -q 'gpuport_counter_total{name="trace-cache-hits"}' gpuportd-metrics.prom
 jq -e '.traceEvents | length > 0' gpuportd-obs-trace.json > /dev/null
+
+# Stop the stream capture and check it caught the campaigns' journey.
+kill "$STREAM_PID" 2>/dev/null || true
+wait "$STREAM_PID" 2>/dev/null || true
+STREAM_PID=""
+grep -q '"kind":"span"' gpuportd-stream.ndjson
+grep -q '"kind":"counter"' gpuportd-stream.ndjson
+echo "   stream capture: $(wc -l < gpuportd-stream.ndjson) events"
 
 echo "== serve smoke passed"
