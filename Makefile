@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build fmt-check lint staticgate test race conform conform-mutate fuzz cover ci bench bench-fault bench-trace bench-obs bench-cost bench-ci profile serve-smoke obs-slo clean
+.PHONY: all vet build fmt-check lint staticgate lockgraph test race conform conform-mutate fuzz cover ci bench bench-fault bench-trace bench-obs bench-cost bench-ci profile serve-smoke obs-slo clean
 
 # BENCHMD, when set, makes every benchcheck invocation append its
 # markdown results table (benchmark, ns/op, gate, verdict) to that
@@ -35,6 +35,14 @@ lint:
 # empty.
 staticgate:
 	$(GO) run ./cmd/staticgate -baseline .staticgate-baseline.json -baseline-budget 0 .
+
+# lockgraph writes the whole-program lock-acquisition graph as
+# lockgraph.json and lockgraph.dot (render with `dot -Tsvg`). Both
+# encodings are byte-stable for a given tree; CI uploads them as
+# artifacts so any ordering change is reviewable as a plain diff.
+lockgraph:
+	$(GO) run ./cmd/staticgate -only lockorder -lockgraph lockgraph .
+	@echo "wrote lockgraph.json lockgraph.dot"
 
 test:
 	$(GO) test ./...
@@ -81,7 +89,7 @@ cover:
 		-floor gpuport/internal/irgl,89 \
 		-floor gpuport/internal/obs/tsdb,90 \
 		-floor gpuport/internal/server,85 \
-		-floor gpuport/internal/staticlint,90
+		-floor gpuport/internal/staticlint,92
 	@rm -f cover.out
 
 # ci is the full gate: everything a change must pass before merging.
@@ -177,6 +185,6 @@ bench-ci: bench-cost
 
 clean:
 	$(GO) clean ./...
-	rm -f bench-trace.out bench-ci.out bench-obs.out bench-cost.out cover.out conform-a.json conform-b.json
+	rm -f bench-trace.out bench-ci.out bench-obs.out bench-cost.out cover.out conform-a.json conform-b.json lockgraph.json lockgraph.dot
 	rm -f cpu.pprof mem.pprof obs-trace.json obs-metrics.prom profile-study.csv
 	rm -f gpuportd-metrics.prom gpuportd-obs-trace.json gpuportd-stream.ndjson slo-report.txt slo-bench.out

@@ -8,6 +8,7 @@ package gpuport
 // Run with: go test -bench=. -benchmem
 
 import (
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -23,6 +24,7 @@ import (
 	"gpuport/internal/microbench"
 	"gpuport/internal/obs"
 	"gpuport/internal/opt"
+	"gpuport/internal/staticlint"
 	"gpuport/internal/stats"
 	"gpuport/internal/study"
 	"gpuport/internal/tracecache"
@@ -589,6 +591,30 @@ func BenchmarkColumnarBuild(b *testing.B) {
 }
 
 // --- observability overhead: the bound behind `make bench-obs` ---
+
+// --- static analysis engine: the staticgate CI gate's cost ---
+
+// BenchmarkStaticgate measures the whole-program analysis engine over
+// the staticlint fixture module, end to end: parallel parse,
+// GOMAXPROCS-wave type-checking, and all analyzers (including the
+// interprocedural lock-set and lock-order passes). This is the unit of
+// work `make staticgate` pays per package tree, so its record in
+// BENCH_ci.json is what catches a loader or analyzer slowdown.
+func BenchmarkStaticgate(b *testing.B) {
+	root := filepath.Join("internal", "staticlint", "testdata", "src", "fixture")
+	analyzers := staticlint.Analyzers()
+	cfg := staticlint.DefaultConfig()
+	var findings int
+	for i := 0; i < b.N; i++ {
+		prog, err := staticlint.Load(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := staticlint.Run(prog, cfg, analyzers)
+		findings = len(res.Diagnostics)
+	}
+	b.ReportMetric(float64(findings), "findings")
+}
 
 // BenchmarkSpanOverhead guards the observability overhead claim: full
 // span capture plus the simulated kernel timeline (EnableSim, what

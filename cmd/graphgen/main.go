@@ -75,18 +75,22 @@ func run(args []string, w io.Writer) error {
 	if *out == "" {
 		return nil
 	}
+	// Validate the format before creating the file: rejecting it after
+	// os.Create would leave an empty stray output behind.
+	switch *format {
+	case "edgelist", "binary":
+	default:
+		return fmt.Errorf("unknown format %q (edgelist or binary)", *format)
+	}
 	f, err := os.Create(*out)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	switch *format {
-	case "edgelist":
+	if *format == "edgelist" {
 		err = graph.WriteEdgeList(f, g)
-	case "binary":
+	} else {
 		err = graph.WriteBinary(f, g)
-	default:
-		return fmt.Errorf("unknown format %q (edgelist or binary)", *format)
 	}
 	if err != nil {
 		return err

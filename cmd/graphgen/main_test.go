@@ -66,14 +66,21 @@ func TestWriteFormats(t *testing.T) {
 }
 
 func TestErrors(t *testing.T) {
+	badFormatOut := filepath.Join(t.TempDir(), "x")
 	for _, args := range [][]string{
 		{"-kind", "torus"},
 		{"-kind", "road", "-side", "5", "-out", "/nonexistent-dir/x", "-format", "edgelist"},
-		{"-kind", "road", "-side", "5", "-out", "x", "-format", "yaml"},
+		{"-kind", "road", "-side", "5", "-out", badFormatOut, "-format", "yaml"},
 	} {
 		var buf bytes.Buffer
 		if err := run(args, &buf); err == nil {
 			t.Errorf("run(%v) should fail", args)
 		}
+	}
+	// An unknown format must be rejected before the output file is
+	// created; leaving an empty stray behind is how cmd/graphgen/x
+	// once ended up committed.
+	if _, err := os.Stat(badFormatOut); !os.IsNotExist(err) {
+		t.Errorf("bad-format run left %s behind (stat err = %v)", badFormatOut, err)
 	}
 }

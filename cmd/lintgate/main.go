@@ -10,7 +10,11 @@
 //   - the unsafe package is not used at all;
 //   - t.Skip in tests must carry a linked issue reference ("#123" or a
 //     URL) in its message: an unreferenced skip is how a disabled test
-//     quietly becomes a permanently disabled test.
+//     quietly becomes a permanently disabled test;
+//   - no extensionless regular files under cmd/: command directories
+//     hold Go sources and docs, so a bare stray file there is almost
+//     always an accidental `> x` or editor artifact that would ship
+//     into every checkout.
 //
 // Usage: lintgate [root]  (default ".")
 package main
@@ -65,12 +69,16 @@ func lint(root string) ([]string, error) {
 			}
 			return nil
 		}
-		if !strings.HasSuffix(path, ".go") {
-			return nil
-		}
 		rel, err := filepath.Rel(root, path)
 		if err != nil {
 			return err
+		}
+		if !strings.HasSuffix(path, ".go") {
+			relSlash := filepath.ToSlash(rel)
+			if strings.HasPrefix(relSlash, "cmd/") && !strings.Contains(filepath.Base(path), ".") {
+				violations = append(violations, fmt.Sprintf("%s: extensionless file under cmd/ (stray artifact? delete it or give it a real extension)", relSlash))
+			}
+			return nil
 		}
 		vs, err := lintFile(path, filepath.ToSlash(rel))
 		if err != nil {

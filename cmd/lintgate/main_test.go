@@ -65,6 +65,22 @@ func TestUnsafeForbidden(t *testing.T) {
 	}
 }
 
+func TestStrayFileUnderCmd(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"cmd/tool/main.go":  "package main\n\nfunc main() {}\n",
+		"cmd/tool/x":        "",
+		"cmd/tool/NOTES.md": "fine: has an extension\n",
+		"scripts/helper":    "#!/bin/sh\n", // extensionless outside cmd/ is fine
+	})
+	vs, err := lint(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || !strings.Contains(vs[0], "cmd/tool/x") || !strings.Contains(vs[0], "extensionless") {
+		t.Fatalf("violations = %v, want exactly the stray cmd/tool/x", vs)
+	}
+}
+
 func TestRepoIsClean(t *testing.T) {
 	// The gate must hold on the repository that ships it.
 	root, err := filepath.Abs("../..")

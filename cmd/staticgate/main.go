@@ -12,6 +12,9 @@
 //	                  may only shrink)
 //	-baseline-budget N  fail if the ledger holds more than N entries; CI
 //	                  pins this to 0 so the ledger cannot quietly grow
+//	-lockgraph BASE   also write the whole-program lock-acquisition
+//	                  graph as BASE.json and BASE.dot (byte-stable
+//	                  across runs; CI uploads them as artifacts)
 //
 // Exit status: 0 clean, 1 findings or baseline drift, 2 usage or load
 // errors.
@@ -41,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut  = fs.Bool("json", false, "write the report as byte-stable JSON to stdout")
 		baseline = fs.String("baseline", "", "baseline file (default <root>/.staticgate-baseline.json)")
 		budget   = fs.Int("baseline-budget", -1, "fail if the baseline holds more than this many entries (-1 disables)")
+		lockBase = fs.String("lockgraph", "", "write the lock-acquisition graph to BASE.json and BASE.dot")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -95,6 +99,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	result := staticlint.Run(prog, staticlint.DefaultConfig(), analyzers)
 	fresh, stale := bl.Apply(result)
 
+	if *lockBase != "" {
+		if err := writeLockGraph(prog, *lockBase); err != nil {
+			fmt.Fprintln(stderr, "staticgate:", err)
+			return 2
+		}
+	}
+
 	if *jsonOut {
 		raw, err := staticlint.EncodeJSON(result)
 		if err != nil {
@@ -117,4 +128,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// writeLockGraph emits the lock-acquisition graph as base.json and
+// base.dot. Both encodings are deterministic for a given program, so
+// CI can diff the artifacts across runs and commits.
+func writeLockGraph(prog *staticlint.Program, base string) error {
+	g := staticlint.BuildLockGraph(prog)
+	raw, err := g.EncodeJSON()
+	if err != nil {
+		return fmt.Errorf("lockgraph: %w", err)
+	}
+	if err := os.WriteFile(base+".json", raw, 0o644); err != nil {
+		return fmt.Errorf("lockgraph: %w", err)
+	}
+	if err := os.WriteFile(base+".dot", g.EncodeDOT(), 0o644); err != nil {
+		return fmt.Errorf("lockgraph: %w", err)
+	}
+	return nil
 }

@@ -36,10 +36,10 @@ func TestList(t *testing.T) {
 		t.Fatalf("exit %d, stderr %s", code, errb.String())
 	}
 	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
-	if len(lines) != 10 {
-		t.Fatalf("-list printed %d analyzers, want 10:\n%s", len(lines), out.String())
+	if len(lines) != 13 {
+		t.Fatalf("-list printed %d analyzers, want 13:\n%s", len(lines), out.String())
 	}
-	for _, name := range []string{"ctxprop", "detpure", "errcheck", "floatcmp", "globalrand", "maprange", "mutexlock", "obsliteral", "obsnames", "walltime"} {
+	for _, name := range []string{"ctxprop", "detpure", "errcheck", "floatcmp", "globalrand", "goleak", "lockguard", "lockorder", "maprange", "mutexlock", "obsliteral", "obsnames", "walltime"} {
 		if !strings.Contains(out.String(), name+" ") {
 			t.Errorf("-list missing analyzer %s", name)
 		}
@@ -132,6 +132,63 @@ func TestBaselineBudget(t *testing.T) {
 		t.Fatalf("exit %d, want 1", code)
 	}
 	if !strings.Contains(errb.String(), "baseline holds 3 entries, budget is 0") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+// TestLockGraphArtifact: -lockgraph writes a JSON and a DOT rendering
+// of the lock-acquisition graph, byte-identical across runs.
+func TestLockGraphArtifact(t *testing.T) {
+	bl := writeBaseline(t, `{"entries":[]}`)
+	readPair := func(base string) (string, string) {
+		t.Helper()
+		var out, errb bytes.Buffer
+		// The fixture has findings (exit 1); the artifact is written anyway.
+		if code := run([]string{"-only", "lockorder", "-baseline", bl, "-lockgraph", base, fixtureRoot}, &out, &errb); code != 1 {
+			t.Fatalf("exit %d, want 1; stderr %s", code, errb.String())
+		}
+		j, err := os.ReadFile(base + ".json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := os.ReadFile(base + ".dot")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(j), string(d)
+	}
+	dir := t.TempDir()
+	j1, d1 := readPair(filepath.Join(dir, "one"))
+	j2, d2 := readPair(filepath.Join(dir, "two"))
+	if j1 != j2 {
+		t.Error("lock-graph JSON is not byte-stable across runs")
+	}
+	if d1 != d2 {
+		t.Error("lock-graph DOT is not byte-stable across runs")
+	}
+	for _, want := range []string{`"version": 1`, "lockord.a", "lockord.b", "lockord.c"} {
+		if !strings.Contains(j1, want) {
+			t.Errorf("JSON artifact missing %q:\n%s", want, j1)
+		}
+	}
+	if !strings.HasPrefix(d1, "digraph lockorder {") {
+		t.Errorf("DOT artifact does not open a digraph:\n%.80s", d1)
+	}
+	if !strings.Contains(d1, "->") {
+		t.Errorf("DOT artifact has no edges:\n%s", d1)
+	}
+}
+
+// TestLockGraphWriteFailure: an unwritable base path is a load-class
+// error (exit 2), not a silent skip.
+func TestLockGraphWriteFailure(t *testing.T) {
+	bl := writeBaseline(t, `{"entries":[]}`)
+	var out, errb bytes.Buffer
+	base := filepath.Join(t.TempDir(), "no", "such", "dir", "lockgraph")
+	if code := run([]string{"-only", "lockorder", "-baseline", bl, "-lockgraph", base, fixtureRoot}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2; stderr %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "lockgraph:") {
 		t.Errorf("stderr = %q", errb.String())
 	}
 }

@@ -94,23 +94,25 @@ type Recorder struct {
 	tracing, sim bool
 
 	mu       sync.Mutex
-	stages   []Stage
-	stageIdx map[string]int
-	counters []Counter
-	countIdx map[string]int
+	stages   []Stage        // guarded by mu
+	stageIdx map[string]int // guarded by mu
+	counters []Counter      // guarded by mu
+	countIdx map[string]int // guarded by mu
 
 	// epoch anchors real-track timestamps; set on first observation.
-	epoch   time.Time
-	spans   []Span
-	events  []Event
-	hists   []Hist
-	histIdx map[string]int
-	lanes   []LaneName
+	epoch   time.Time      // guarded by mu
+	spans   []Span         // guarded by mu
+	events  []Event        // guarded by mu
+	hists   []Hist         // guarded by mu
+	histIdx map[string]int // guarded by mu
+	lanes   []LaneName     // guarded by mu
 
 	// Live streaming (see stream.go): registered watchers, and the
 	// optional forward target a job recorder mirrors its events into.
-	watchers  map[int]chan StreamEvent
-	nextWatch int
+	// The forward fields are set before concurrent use (ForwardTo),
+	// so only the watcher registry is guarded.
+	watchers  map[int]chan StreamEvent // guarded by mu
+	nextWatch int                      // guarded by mu
 	fwd       *Recorder
 	fwdTrace  uint64
 	fwdParent uint64

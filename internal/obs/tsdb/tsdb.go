@@ -85,11 +85,11 @@ type series struct {
 // never block on readers beyond the mutex.
 type Store struct {
 	mu     sync.Mutex
-	cap    int
-	series []*series
-	idx    map[string]int
-	ticks  int
-	lastTS int64
+	cap    int            // immutable after New
+	series []*series      // guarded by mu
+	idx    map[string]int // guarded by mu
+	ticks  int            // guarded by mu
+	lastTS int64          // guarded by mu
 }
 
 // DefaultCapacity is the ring size used when New is given a

@@ -147,20 +147,20 @@ type Job struct {
 	reqSpan uint64
 
 	mu        sync.Mutex
-	state     State
-	source    string
-	waitSpan  *obs.SpanHandle
-	traceDone int
-	sweepDone int
-	resumed   int
-	report    *measure.Report
-	result    []byte // dataset CSV, terminal done only
-	status    []byte // canonical terminal status body
-	errMsg    string
-	canceling bool
-	cancel    context.CancelFunc
-	subs      map[int]chan Event
-	nextSub   int
+	state     State              // guarded by mu
+	source    string             // guarded by mu
+	waitSpan  *obs.SpanHandle    // guarded by mu
+	traceDone int                // guarded by mu
+	sweepDone int                // guarded by mu
+	resumed   int                // guarded by mu
+	report    *measure.Report    // guarded by mu
+	result    []byte             // guarded by mu; dataset CSV, terminal done only
+	status    []byte             // guarded by mu; canonical terminal status body
+	errMsg    string             // guarded by mu
+	canceling bool               // guarded by mu
+	cancel    context.CancelFunc // guarded by mu
+	subs      map[int]chan Event // guarded by mu
+	nextSub   int                // guarded by mu
 }
 
 func newJob(id, fp string, spec Spec, camp *measure.Campaign, seq uint64) *Job {
@@ -252,6 +252,7 @@ func (j *Job) Status() Status {
 	return j.statusLocked()
 }
 
+// statusLocked assembles the canonical status view. Callers hold j.mu.
 func (j *Job) statusLocked() Status {
 	st := Status{
 		ID:          j.id,
@@ -347,7 +348,8 @@ func (j *Job) notify(phase string, done, total int) {
 
 // publishLocked sends the event to every subscriber without blocking:
 // a slow stream reader misses intermediate progress, never the
-// terminal state (the stream handler emits that itself).
+// terminal state (the stream handler emits that itself). Callers hold
+// j.mu.
 func (j *Job) publishLocked(ev Event) {
 	for _, ch := range j.subs {
 		select {

@@ -70,11 +70,11 @@ type Server struct {
 	wake chan struct{}
 
 	mu     sync.Mutex
-	jobs   map[string]*Job
-	q      queue
-	seq    uint64
-	busy   int64
-	closed bool
+	jobs   map[string]*Job // guarded by mu
+	q      queue           // guarded by mu
+	seq    uint64          // guarded by mu
+	busy   int64           // guarded by mu
+	closed bool            // guarded by mu
 }
 
 // New starts a server: it validates the config, prepares the job
@@ -262,11 +262,16 @@ func (s *Server) Submit(spec Spec) (j *Job, body []byte, errs *Error) {
 	s.seq++
 
 	if status, result, ok := s.loadPersisted(id); ok {
+		// The job is not yet published (jobs map, queue), so nothing
+		// races here - but the guarded fields are written under j.mu
+		// anyway, keeping the lock discipline uniform and provable.
+		j.mu.Lock()
 		j.state = StateDone
 		j.source = SourceCache
 		j.status = status
 		j.result = result
 		j.traceDone, j.sweepDone = j.traceTotal, j.sweepTotal
+		j.mu.Unlock()
 		close(j.done)
 		s.jobs[id] = j
 		s.rec.Add(obs.CtrJobsCached, 1)
@@ -282,8 +287,11 @@ func (s *Server) Submit(spec Spec) (j *Job, body []byte, errs *Error) {
 	j.trace = trace
 	j.reqSpan = req.ID()
 	// The queue-wait span stays open until a runner dequeues the job
-	// (or it is canceled while queued); see endWaitLocked.
+	// (or it is canceled while queued); see endWaitLocked. Taking j.mu
+	// under s.mu matches the global lock order (Server.mu -> Job.mu).
+	j.mu.Lock()
 	j.waitSpan = req.StartSpan(obs.SpanQueueWait, lane)
+	j.mu.Unlock()
 	s.jobs[id] = j
 	s.q.push(j)
 	s.rec.Add(obs.CtrJobsSubmitted, 1)

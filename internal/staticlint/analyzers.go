@@ -66,6 +66,17 @@ func DefaultConfig() Config {
 		MapRangeScope:        []string{"internal/"},
 		ObsPath:              "internal/obs",
 		ObsLiteralScope:      []string{"internal/server", "cmd/gpuportd"},
+		// The daemon's shared-state structs: each must annotate its
+		// mutex-protected fields, making the locking discipline checked
+		// documentation rather than tribal knowledge.
+		LockGuarded: []string{
+			"gpuport/internal/server.Server",
+			"gpuport/internal/server.Job",
+			"gpuport/internal/tracecache.Store",
+			"gpuport/internal/obs.Recorder",
+			"gpuport/internal/obs/tsdb.Store",
+		},
+		GoLeakScope: []string{"internal/server", "internal/measure", "internal/obs"},
 	}
 }
 
@@ -77,6 +88,9 @@ func Analyzers() []*Analyzer {
 		{Name: "errcheck", Doc: "no silently dropped errors in internal packages", Run: runErrcheck},
 		{Name: "floatcmp", Doc: "no float == / != in the model and stats packages (compare against a tolerance, or guard exact zero)", Run: runFloatCmp},
 		{Name: "globalrand", Doc: "math/rand only inside the seeded stats layer", Run: runGlobalRand},
+		{Name: "goleak", Doc: "every go statement in the daemon layers has a provable termination path (ctx.Done, WaitGroup, or closed-channel range/select)", Run: runGoLeak},
+		{Name: "lockguard", Doc: "fields annotated `guarded by <mu>` (and helpers documenting `requires mu held`) are only touched with the guarding mutex provably held, via interprocedural lock-set dataflow", Run: runLockGuard},
+		{Name: "lockorder", Doc: "the global lock-acquisition graph is cycle-free; staticgate -lockgraph emits it as JSON/DOT", Run: runLockOrder},
 		{Name: "maprange", Doc: "no map iteration feeding an encoder or an ordered collection without a sort", Run: runMapRange},
 		{Name: "mutexlock", Doc: "no mutex copies; every Lock has a matching Unlock in the same function", Run: runMutexLock},
 		{Name: "obsliteral", Doc: "string literals in the server layers must not duplicate obs name constants (use the constant)", Run: runObsLiteral},

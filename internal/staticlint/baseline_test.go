@@ -51,6 +51,97 @@ func TestBaselineApply(t *testing.T) {
 	})
 }
 
+// TestBaselineKeyEdgeCases pins the matching semantics of the
+// line-less (rule, file, message) key under the inputs that churn real
+// ledgers: several identical findings on one line, file renames, and
+// identical messages under different rules or files.
+func TestBaselineKeyEdgeCases(t *testing.T) {
+	t.Run("duplicate findings on one line", func(t *testing.T) {
+		// Two findings can legitimately share rule, file, message AND
+		// line (two dropped errors in one statement). The ledger is a
+		// multiset, so each needs its own entry - one entry must not
+		// absorb both.
+		res := &staticlint.Result{Diagnostics: []staticlint.Diagnostic{
+			{Rule: "errcheck", File: "a.go", Line: 7, Col: 2, Message: "dropped"},
+			{Rule: "errcheck", File: "a.go", Line: 7, Col: 14, Message: "dropped"},
+		}}
+		one := &staticlint.Baseline{Entries: []staticlint.BaselineEntry{
+			{Rule: "errcheck", File: "a.go", Message: "dropped"},
+		}}
+		fresh, stale := one.Apply(res)
+		if len(fresh) != 1 || len(stale) != 0 {
+			t.Fatalf("one entry: fresh=%d stale=%d, want 1/0", len(fresh), len(stale))
+		}
+		two := &staticlint.Baseline{Entries: []staticlint.BaselineEntry{
+			{Rule: "errcheck", File: "a.go", Message: "dropped"},
+			{Rule: "errcheck", File: "a.go", Message: "dropped"},
+		}}
+		fresh, stale = two.Apply(res)
+		if len(fresh) != 0 || len(stale) != 0 {
+			t.Fatalf("two entries: fresh=%d stale=%d, want 0/0", len(fresh), len(stale))
+		}
+	})
+
+	t.Run("file rename strands the entry", func(t *testing.T) {
+		// Renaming a file moves its findings to a new key: the old
+		// entry goes stale and the finding comes back fresh, so the
+		// gate forces the ledger to follow the rename instead of
+		// silently carrying debt against a file that no longer exists.
+		res := &staticlint.Result{Diagnostics: []staticlint.Diagnostic{
+			{Rule: "errcheck", File: "internal/new/renamed.go", Line: 3, Message: "dropped"},
+		}}
+		bl := &staticlint.Baseline{Entries: []staticlint.BaselineEntry{
+			{Rule: "errcheck", File: "internal/old/original.go", Message: "dropped"},
+		}}
+		fresh, stale := bl.Apply(res)
+		if len(fresh) != 1 || fresh[0].File != "internal/new/renamed.go" {
+			t.Fatalf("fresh=%v, want the renamed finding", fresh)
+		}
+		if len(stale) != 1 || stale[0].File != "internal/old/original.go" {
+			t.Fatalf("stale=%v, want the stranded entry", stale)
+		}
+	})
+
+	t.Run("message collisions stay distinct", func(t *testing.T) {
+		// The same message text under a different rule or file is a
+		// different finding; entries must not cross-absorb on message
+		// alone, and the \x00 separator keeps adversarial field values
+		// from aliasing ("a" + "b.go" vs "ab" + ".go").
+		res := &staticlint.Result{Diagnostics: []staticlint.Diagnostic{
+			{Rule: "errcheck", File: "a.go", Line: 1, Message: "dropped"},
+			{Rule: "mutexlock", File: "a.go", Line: 2, Message: "dropped"},
+			{Rule: "errcheck", File: "b.go", Line: 3, Message: "dropped"},
+		}}
+		bl := &staticlint.Baseline{Entries: []staticlint.BaselineEntry{
+			{Rule: "errcheck", File: "a.go", Message: "dropped"},
+		}}
+		fresh, stale := bl.Apply(res)
+		if len(fresh) != 2 || len(stale) != 0 {
+			t.Fatalf("fresh=%d stale=%d, want 2/0", len(fresh), len(stale))
+		}
+		for _, d := range fresh {
+			if d.Rule == "errcheck" && d.File == "a.go" {
+				t.Fatalf("the baselined finding leaked through as fresh: %+v", d)
+			}
+		}
+	})
+
+	t.Run("line and column moves do not churn", func(t *testing.T) {
+		// Lines are deliberately absent from the key: editing elsewhere
+		// in the file must not invalidate the ledger.
+		res := &staticlint.Result{Diagnostics: []staticlint.Diagnostic{
+			{Rule: "errcheck", File: "a.go", Line: 900, Col: 40, Message: "dropped"},
+		}}
+		bl := &staticlint.Baseline{Entries: []staticlint.BaselineEntry{
+			{Rule: "errcheck", File: "a.go", Message: "dropped"},
+		}}
+		fresh, stale := bl.Apply(res)
+		if len(fresh) != 0 || len(stale) != 0 {
+			t.Fatalf("fresh=%d stale=%d, want 0/0", len(fresh), len(stale))
+		}
+	})
+}
+
 func TestReadBaseline(t *testing.T) {
 	dir := t.TempDir()
 

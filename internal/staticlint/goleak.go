@@ -1,0 +1,100 @@
+package staticlint
+
+// The goleak analyzer: every `go` statement in the daemon layers must
+// have a provable termination path — the spawned body (or the named
+// function it calls) must observe a context.Context (ctx.Done), sign
+// off through a sync.WaitGroup (wg.Done), or drain a channel whose
+// close is the shutdown signal (range over a channel, or a select
+// with a receive arm). Fire-and-forget goroutines in a long-running
+// daemon are leaks: they outlive requests, pin memory, and keep the
+// race detector's schedule space unexplorable.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func runGoLeak(pass *Pass) {
+	// Named spawn targets resolve through the module call graph.
+	decls := map[*types.Func]*funcNode{}
+	for fn, node := range buildCallGraph(pass.Prog).nodes {
+		decls[fn] = node
+	}
+	eachScopedFile(pass, pass.Config.GoLeakScope, func(pkg *Package, file *ast.File) {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			var bodyPkg *Package
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				body, bodyPkg = lit.Body, pkg
+			} else if f := calleeFunc(pkg.Info, g.Call); f != nil {
+				if node := decls[f]; node != nil {
+					body, bodyPkg = node.decl.Body, node.pkg
+				}
+			}
+			if body == nil {
+				pass.Reportf(g.Pos(), "goroutine body is not statically visible (dynamic call); spawn a named function or literal so termination is provable")
+				return true
+			}
+			if !hasTerminationEvidence(bodyPkg.Info, body) {
+				pass.Reportf(g.Pos(), "goroutine has no provable termination path (tie it to ctx.Done, a sync.WaitGroup Done, or a closed-channel range/select)")
+			}
+			return true
+		})
+	})
+}
+
+// hasTerminationEvidence scans a goroutine body for any of the three
+// accepted shutdown disciplines.
+func hasTerminationEvidence(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if f := calleeFunc(info, n); f != nil {
+				switch f.FullName() {
+				case "(context.Context).Done", "(*sync.WaitGroup).Done", "(*sync.WaitGroup).Wait":
+					found = true
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && isReceiveComm(cc.Comm) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isReceiveComm reports whether a select comm clause is a receive.
+func isReceiveComm(s ast.Stmt) bool {
+	var x ast.Expr
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		x = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			x = s.Rhs[0]
+		}
+	default:
+		return false
+	}
+	u, ok := ast.Unparen(x).(*ast.UnaryExpr)
+	return ok && u.Op == token.ARROW
+}

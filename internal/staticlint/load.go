@@ -25,7 +25,9 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked package of the analysed module.
@@ -81,21 +83,41 @@ func (p *Program) FileName(pos token.Pos) string {
 }
 
 // loader resolves imports for one Load call: module-local paths are
-// type-checked from source under the module root, everything else is
-// delegated to the GOROOT source importer.
+// served from the already-type-checked package map, everything else is
+// delegated to the GOROOT source importer. It is shared by the
+// concurrent type-check workers, so both the package map and the
+// source importer (which memoises internally without locking) are
+// mutex-guarded.
 type loader struct {
-	fset    *token.FileSet
-	root    string
-	module  string
-	std     types.Importer
-	pkgs    map[string]*Package
-	loading map[string]bool
+	fset   *token.FileSet
+	root   string
+	module string
+
+	mu   sync.Mutex // guarded by mu: pkgs
+	pkgs map[string]*Package
+
+	stdMu sync.Mutex // serialises std, which is not safe for concurrent use
+	std   types.Importer
+}
+
+// parsedPkg is one package after the parse phase: files read,
+// build-tag-selected and parsed, but not yet type-checked. localDeps
+// lists its module-local imports, which drive type-check scheduling.
+type parsedPkg struct {
+	pkg       *Package
+	localDeps []string
 }
 
 // Load parses and type-checks every non-test package under root,
 // which must contain a go.mod naming the module. Directories named
 // testdata, hidden directories and _-prefixed directories are skipped,
 // matching the go tool.
+//
+// Loading is parallel in two phases - every package parses
+// concurrently, then type-checking proceeds in dependency waves with
+// up to GOMAXPROCS packages checked at once - but the result and every
+// error are independent of scheduling: packages stay sorted by import
+// path and the first error in path order wins.
 func Load(root string) (*Program, error) {
 	absRoot, err := filepath.Abs(root)
 	if err != nil {
@@ -106,16 +128,22 @@ func Load(root string) (*Program, error) {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	ld := &loader{
-		fset:    fset,
-		root:    absRoot,
-		module:  modulePath,
-		std:     importer.ForCompiler(fset, "source", nil),
-		pkgs:    map[string]*Package{},
-		loading: map[string]bool{},
-	}
 	dirs, err := packageDirs(absRoot)
 	if err != nil {
+		return nil, err
+	}
+	parsed, err := parseAll(fset, absRoot, modulePath, dirs)
+	if err != nil {
+		return nil, err
+	}
+	ld := &loader{
+		fset:   fset,
+		root:   absRoot,
+		module: modulePath,
+		std:    importer.ForCompiler(fset, "source", nil),
+		pkgs:   map[string]*Package{},
+	}
+	if err := ld.checkAll(parsed); err != nil {
 		return nil, err
 	}
 	prog := &Program{
@@ -124,22 +152,188 @@ func Load(root string) (*Program, error) {
 		Root:       absRoot,
 		byPath:     map[string]*Package{},
 	}
-	for _, dir := range dirs {
-		rel, _ := filepath.Rel(absRoot, dir)
-		path := modulePath
-		if rel != "." {
-			path = modulePath + "/" + filepath.ToSlash(rel)
-		}
-		if _, err := ld.load(path); err != nil {
-			return nil, err
-		}
-	}
 	for _, pkg := range ld.pkgs {
 		prog.Packages = append(prog.Packages, pkg)
 		prog.byPath[pkg.Path] = pkg
 	}
 	sort.Slice(prog.Packages, func(i, j int) bool { return prog.Packages[i].Path < prog.Packages[j].Path })
 	return prog, nil
+}
+
+// parseAll reads and parses every package directory concurrently. The
+// shared FileSet synchronises internally, so parallel ParseFile calls
+// are safe; position order within a file is what analyzers sort on, so
+// file registration order across packages does not matter. dirs is
+// sorted, and on failure the error from the smallest directory wins,
+// keeping errors deterministic under any scheduling.
+func parseAll(fset *token.FileSet, root, module string, dirs []string) ([]*parsedPkg, error) {
+	parsed := make([]*parsedPkg, len(dirs))
+	errs := make([]error, len(dirs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, dir := range dirs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, dir string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			parsed[i], errs[i] = parsePackage(fset, root, module, dir)
+		}(i, dir)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return parsed, nil
+}
+
+// parsePackage parses one directory into a not-yet-type-checked
+// package.
+func parsePackage(fset *token.FileSet, root, module, dir string) (*parsedPkg, error) {
+	rel, _ := filepath.Rel(root, dir)
+	rel = filepath.ToSlash(rel)
+	if rel == "." {
+		rel = ""
+	}
+	path := module
+	if rel != "" {
+		path = module + "/" + rel
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("staticlint: package %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Rel: rel, Dir: dir}
+	deps := map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if !fileSelected(name, src) {
+			continue
+		}
+		file, err := parser.ParseFile(fset, filepath.Join(dir, name), src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("staticlint: %w", err)
+		}
+		pkg.Files = append(pkg.Files, file)
+		relFile := name
+		if rel != "" {
+			relFile = rel + "/" + name
+		}
+		pkg.FileNames = append(pkg.FileNames, relFile)
+		for _, imp := range file.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p == module || strings.HasPrefix(p, module+"/") {
+				deps[p] = true
+			}
+		}
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("staticlint: package %s has no buildable go files", path)
+	}
+	pp := &parsedPkg{pkg: pkg}
+	for p := range deps {
+		pp.localDeps = append(pp.localDeps, p)
+	}
+	sort.Strings(pp.localDeps)
+	return pp, nil
+}
+
+// checkAll type-checks the parsed packages in dependency waves: each
+// wave holds every package whose module-local imports are already
+// checked, and its members check concurrently (capped at GOMAXPROCS).
+// An empty wave with packages still pending means the module-local
+// import graph has a cycle.
+func (ld *loader) checkAll(parsed []*parsedPkg) error {
+	known := map[string]bool{}
+	for _, pp := range parsed {
+		known[pp.pkg.Path] = true
+	}
+	pending := append([]*parsedPkg(nil), parsed...)
+	sort.Slice(pending, func(i, j int) bool { return pending[i].pkg.Path < pending[j].pkg.Path })
+	done := map[string]bool{}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for len(pending) > 0 {
+		var wave, blocked []*parsedPkg
+		for _, pp := range pending {
+			ready := true
+			for _, dep := range pp.localDeps {
+				// Imports of unknown module-local paths stay schedulable;
+				// type-checking them produces the real import error.
+				if known[dep] && !done[dep] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				wave = append(wave, pp)
+			} else {
+				blocked = append(blocked, pp)
+			}
+		}
+		if len(wave) == 0 {
+			// Every pending package waits on another pending package:
+			// a cycle. pending is sorted, so the reported path is
+			// deterministic.
+			return fmt.Errorf("staticlint: import cycle through %s", blocked[0].pkg.Path)
+		}
+		errs := make([]error, len(wave))
+		var wg sync.WaitGroup
+		for i, pp := range wave {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, pp *parsedPkg) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				errs[i] = ld.check(pp.pkg)
+			}(i, pp)
+		}
+		wg.Wait()
+		// wave is in path order, so the surviving error is the one the
+		// sequential loader would have hit first.
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		for _, pp := range wave {
+			done[pp.pkg.Path] = true
+		}
+		pending = blocked
+	}
+	return nil
+}
+
+// check type-checks one package whose module-local imports are all
+// checked already.
+func (ld *loader) check(pkg *Package) error {
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(pkg.Path, ld.fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return fmt.Errorf("staticlint: type-checking %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	ld.mu.Lock()
+	ld.pkgs[pkg.Path] = pkg
+	ld.mu.Unlock()
+	return nil
 }
 
 // readModulePath extracts the module path from a go.mod file.
@@ -186,82 +380,33 @@ func packageDirs(root string) ([]string, error) {
 	return dirs, err
 }
 
-// Import implements types.Importer. Module-local paths recurse into
-// the loader; "unsafe" and the standard library go to the GOROOT
-// source importer.
+// Import implements types.Importer. Module-local paths are served
+// from the checked-package map (wave scheduling guarantees a package's
+// imports check before it does); "unsafe" and the standard library go
+// to the GOROOT source importer under stdMu.
 func (ld *loader) Import(path string) (*types.Package, error) {
 	if path == "C" {
 		return nil, fmt.Errorf("staticlint: cgo is not supported")
 	}
 	local := path == ld.module || strings.HasPrefix(path, ld.module+"/")
 	if !local {
+		ld.stdMu.Lock()
+		defer ld.stdMu.Unlock()
 		return ld.std.Import(path)
 	}
-	pkg, err := ld.load(path)
-	if err != nil {
-		return nil, err
+	ld.mu.Lock()
+	pkg := ld.pkgs[path]
+	ld.mu.Unlock()
+	if pkg != nil {
+		return pkg.Types, nil
 	}
-	return pkg.Types, nil
-}
-
-// load type-checks one module-local package (memoised).
-func (ld *loader) load(path string) (*Package, error) {
-	if pkg, ok := ld.pkgs[path]; ok {
-		return pkg, nil
-	}
-	if ld.loading[path] {
-		return nil, fmt.Errorf("staticlint: import cycle through %s", path)
-	}
-	ld.loading[path] = true
-	defer delete(ld.loading, path)
-
+	// Not in the parsed set: the import names a module-local directory
+	// that is missing or holds no buildable files.
 	rel := strings.TrimPrefix(strings.TrimPrefix(path, ld.module), "/")
-	dir := filepath.Join(ld.root, filepath.FromSlash(rel))
-	entries, err := os.ReadDir(dir)
-	if err != nil {
+	if _, err := os.ReadDir(filepath.Join(ld.root, filepath.FromSlash(rel))); err != nil {
 		return nil, fmt.Errorf("staticlint: package %s: %w", path, err)
 	}
-	pkg := &Package{Path: path, Rel: rel, Dir: dir}
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		src, err := os.ReadFile(filepath.Join(dir, name))
-		if err != nil {
-			return nil, err
-		}
-		if !fileSelected(name, src) {
-			continue
-		}
-		file, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), src, parser.ParseComments)
-		if err != nil {
-			return nil, fmt.Errorf("staticlint: %w", err)
-		}
-		pkg.Files = append(pkg.Files, file)
-		relFile := name
-		if rel != "" {
-			relFile = rel + "/" + name
-		}
-		pkg.FileNames = append(pkg.FileNames, relFile)
-	}
-	if len(pkg.Files) == 0 {
-		return nil, fmt.Errorf("staticlint: package %s has no buildable go files", path)
-	}
-	pkg.Info = &types.Info{
-		Types:      map[ast.Expr]types.TypeAndValue{},
-		Defs:       map[*ast.Ident]types.Object{},
-		Uses:       map[*ast.Ident]types.Object{},
-		Selections: map[*ast.SelectorExpr]*types.Selection{},
-	}
-	conf := types.Config{Importer: ld}
-	tpkg, err := conf.Check(path, ld.fset, pkg.Files, pkg.Info)
-	if err != nil {
-		return nil, fmt.Errorf("staticlint: type-checking %s: %w", path, err)
-	}
-	pkg.Types = tpkg
-	ld.pkgs[path] = pkg
-	return pkg, nil
+	return nil, fmt.Errorf("staticlint: package %s has no buildable go files", path)
 }
 
 // fileSelected reports whether a file participates in the default

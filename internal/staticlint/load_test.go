@@ -83,6 +83,7 @@ func TestLoadErrors(t *testing.T) {
 		{"type error", filepath.Join("testdata", "src", "badtypes"), "type-checking"},
 		{"parse error", filepath.Join("testdata", "src", "badparse"), "expected"},
 		{"import cycle", filepath.Join("testdata", "src", "cycle"), "import cycle"},
+		{"missing local import", filepath.Join("testdata", "src", "badimport"), "badimport/internal/nothere"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -1,0 +1,97 @@
+package staticlint
+
+// The lockguard analyzer: every field annotated "guarded by <mu>" may
+// only be read or written while the guarding mutex is provably held,
+// and every call to a function documenting a lock contract
+// ("requires mu held" / "Callers hold j.mu") must prove the contract
+// at the call site. Unlike -race, which only observes the schedules a
+// test run happens to explore, this is a whole-program proof over
+// every path the lock-set dataflow can see.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+func runLockGuard(pass *Pass) {
+	facts := collectLockFacts(pass.Prog)
+	for _, p := range facts.problems {
+		pass.Reportf(p.pos, "%s", p.msg)
+	}
+	checkLockRegistry(pass, facts)
+	for _, pkg := range pass.Prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				checkGuardedAccess(pass, facts, pkg, fd)
+			}
+		}
+	}
+}
+
+// checkLockRegistry verifies Config.LockGuarded: every registered
+// struct must exist and declare at least one guarded field, so the
+// concurrency proof cannot silently shrink when a struct is renamed
+// or its annotations are dropped.
+func checkLockRegistry(pass *Pass, facts *lockFacts) {
+	for _, entry := range pass.Config.LockGuarded {
+		dot := strings.LastIndex(entry, ".")
+		if dot < 0 {
+			pass.Reportf(token.NoPos, "lock registry entry %q is not of the form pkg/path.Type", entry)
+			continue
+		}
+		pkgPath, typeName := entry[:dot], entry[dot+1:]
+		pkg := pass.Prog.byPath[pkgPath]
+		var tn *types.TypeName
+		if pkg != nil {
+			tn, _ = pkg.Types.Scope().Lookup(typeName).(*types.TypeName)
+		}
+		if tn == nil {
+			pass.Reportf(token.NoPos, "lock registry entry %q matches no struct type in the program (renamed or deleted? update the registry)", entry)
+			continue
+		}
+		if !facts.annotated[entry] {
+			pass.Reportf(tn.Pos(), "%s is registered as lock-guarded but annotates no field (mark its mutex-protected fields with `guarded by <mu>` comments)", typeName)
+		}
+	}
+}
+
+// checkGuardedAccess runs the lock-set walker over one function,
+// reporting guarded-field accesses and contract calls the held set
+// does not cover.
+func checkGuardedAccess(pass *Pass, facts *lockFacts, pkg *Package, fd *ast.FuncDecl) {
+	w := &lockWalker{facts: facts, pkg: pkg}
+	w.onAccess = func(field *types.Var, g *guardedField, requiredKey string, write bool, pos token.Pos, held lockState) {
+		owner := field.Name()
+		if g.owner != nil {
+			owner = g.owner.Obj().Name() + "." + field.Name()
+		}
+		lock, ok := held[requiredKey]
+		if !ok {
+			word := "read"
+			if write {
+				word = "write to"
+			}
+			pass.Reportf(pos, "unguarded %s %s (guarded by %s); hold the mutex, or document the enclosing helper's contract (requires %s held)",
+				word, owner, requiredKey, requiredKey)
+			return
+		}
+		if write && lock.read {
+			pass.Reportf(pos, "write to %s while holding only a read lock on %s (upgrade the caller to Lock)", owner, requiredKey)
+		}
+	}
+	w.onContractCall = func(callee *types.Func, requiredKey string, pos token.Pos, held lockState) {
+		if requiredKey == "" {
+			return // call shape hides the root; the body's own proof still runs
+		}
+		if _, ok := held[requiredKey]; !ok {
+			pass.Reportf(pos, "call to %s requires %s held (per its doc contract); acquire the lock first or lift the contract to this caller", callee.Name(), requiredKey)
+		}
+	}
+	w.walkFunc(fd)
+}

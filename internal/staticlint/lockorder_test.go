@@ -1,0 +1,162 @@
+package staticlint_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gpuport/internal/staticlint"
+)
+
+// TestLockGraphFixture proves the exported lock-graph surface over the
+// fixture module: the interprocedural edges exist, the planted cycle
+// is found canonically, and both encodings are deterministic.
+func TestLockGraphFixture(t *testing.T) {
+	g := staticlint.BuildLockGraph(loadFixture(t))
+
+	nodes := g.Nodes()
+	for _, want := range []string{
+		"fixture/internal/lockord.a",
+		"fixture/internal/lockord.b",
+		"fixture/internal/lockord.c",
+		"fixture/internal/lockg.Box.mu",
+		"fixture/internal/lockg.regMu",
+		"fixture/internal/lockg.(local).mu",
+	} {
+		found := false
+		for _, n := range nodes {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("lock graph missing node %s (have %v)", want, nodes)
+		}
+	}
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1] >= nodes[i] {
+			t.Fatalf("nodes out of order: %s before %s", nodes[i-1], nodes[i])
+		}
+	}
+
+	edges := g.Edges()
+	hasEdge := func(from, to string) bool {
+		for _, e := range edges {
+			if e.From == from && e.To == to {
+				return true
+			}
+		}
+		return false
+	}
+	// The AB/BA pair is the planted cycle; a->c flows through the
+	// lockC helper, so its presence proves interprocedural edges.
+	for _, e := range [][2]string{
+		{"fixture/internal/lockord.a", "fixture/internal/lockord.b"},
+		{"fixture/internal/lockord.b", "fixture/internal/lockord.a"},
+		{"fixture/internal/lockord.a", "fixture/internal/lockord.c"},
+		{"fixture/internal/lockord.b", "fixture/internal/lockord.c"},
+	} {
+		if !hasEdge(e[0], e[1]) {
+			t.Errorf("lock graph missing edge %s -> %s", e[0], e[1])
+		}
+	}
+	for _, e := range edges {
+		if e.From == e.To {
+			t.Errorf("self-edge on %s: instance-collapsed identities must not self-cycle", e.From)
+		}
+		if !strings.Contains(e.Site, ".go:") {
+			t.Errorf("edge %s -> %s has no source site: %q", e.From, e.To, e.Site)
+		}
+	}
+
+	cycles := g.Cycles()
+	if len(cycles) != 1 {
+		t.Fatalf("cycles = %d, want exactly the planted AB/BA cycle: %v", len(cycles), cycles)
+	}
+	cyc := cycles[0]
+	if cyc[0].From != "fixture/internal/lockord.a" {
+		t.Errorf("cycle not canonicalised to smallest-first: starts at %s", cyc[0].From)
+	}
+	if cyc[len(cyc)-1].To != cyc[0].From {
+		t.Errorf("cycle does not close: %v", cyc)
+	}
+}
+
+// TestLockGraphEncodingsDeterministic: both artifact encodings are
+// byte-identical across independent builds of the graph.
+func TestLockGraphEncodingsDeterministic(t *testing.T) {
+	prog := loadFixture(t)
+	g1 := staticlint.BuildLockGraph(prog)
+	g2 := staticlint.BuildLockGraph(prog)
+
+	j1, err := g1.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := g2.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Error("EncodeJSON is not byte-stable across builds")
+	}
+	if !strings.HasPrefix(string(j1), "{\n  \"version\": 1,") {
+		t.Errorf("JSON must lead with its version, got %.40q", j1)
+	}
+	if !strings.Contains(string(j1), `"module": "fixture"`) {
+		t.Errorf("JSON missing the module name:\n%.200s", j1)
+	}
+
+	d1, d2 := g1.EncodeDOT(), g2.EncodeDOT()
+	if !bytes.Equal(d1, d2) {
+		t.Error("EncodeDOT is not byte-stable across builds")
+	}
+	dot := string(d1)
+	if !strings.HasPrefix(dot, "digraph lockorder {") || !strings.HasSuffix(dot, "}\n") {
+		t.Errorf("DOT shape drifted:\n%s", dot)
+	}
+	if !strings.Contains(dot, `"fixture/internal/lockord.a" -> "fixture/internal/lockord.b"`) {
+		t.Errorf("DOT missing the planted edge:\n%s", dot)
+	}
+}
+
+// TestLockRegistryMisses drives the registry refusal paths: malformed
+// entries and entries naming vanished types must fire, so the
+// concurrency proof cannot silently shrink on a rename.
+func TestLockRegistryMisses(t *testing.T) {
+	prog := loadFixture(t)
+	cfg := fixtureConfig()
+	cfg.LockGuarded = []string{
+		"noDotEntry",
+		"fixture/internal/lockg.Gone",
+		"fixture/internal/nosuchpkg.T",
+		"fixture/internal/lockg.Box", // valid and annotated: silent
+	}
+	res := staticlint.Run(prog, cfg, staticlint.AnalyzersByName([]string{"lockguard"}))
+	var msgs []string
+	for _, d := range res.Diagnostics {
+		if strings.Contains(d.Message, "registry") {
+			msgs = append(msgs, d.Message)
+		}
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("registry findings = %d, want 3:\n%s", len(msgs), strings.Join(msgs, "\n"))
+	}
+	for _, want := range []string{
+		`lock registry entry "noDotEntry" is not of the form pkg/path.Type`,
+		`lock registry entry "fixture/internal/lockg.Gone" matches no struct type`,
+		`lock registry entry "fixture/internal/nosuchpkg.T" matches no struct type`,
+	} {
+		found := false
+		for _, m := range msgs {
+			if strings.Contains(m, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing registry finding %q in:\n%s", want, strings.Join(msgs, "\n"))
+		}
+	}
+}

@@ -116,6 +116,14 @@ type Config struct {
 	// ObsLiteralScope is where raw string literals duplicating an obs
 	// name constant's value are violations (the obsliteral rule).
 	ObsLiteralScope []string
+	// LockGuarded registers the structs ("pkg/path.Type") whose shared
+	// state must carry `guarded by <mu>` field annotations; lockguard
+	// fails if a registered struct exists without any. Annotated fields
+	// anywhere in the module are checked regardless of this registry.
+	LockGuarded []string
+	// GoLeakScope is where every go statement must have a provable
+	// termination path (the goleak rule).
+	GoLeakScope []string
 }
 
 // Result is a finished engine run.

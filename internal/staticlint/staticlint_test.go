@@ -35,6 +35,12 @@ func fixtureConfig() staticlint.Config {
 		MapRangeScope:        []string{"internal/"},
 		ObsPath:              "internal/obs",
 		ObsLiteralScope:      []string{"internal/obsemit"},
+		LockGuarded: []string{
+			"fixture/internal/lockg.Box",
+			"fixture/internal/lockg.RW",
+			"fixture/internal/lockg.Naked",
+		},
+		GoLeakScope: []string{"internal/leak", "internal/measure"},
 	}
 }
 
@@ -78,6 +84,19 @@ func TestAnalyzerFixtures(t *testing.T) {
 		},
 		"floatcmp":   {"internal/cost/cost.go:5"},
 		"globalrand": {"internal/rnd/rnd.go:8"},
+		"goleak": {
+			"internal/leak/leak.go:12", // infinite loop, no exit signal
+			"internal/leak/leak.go:65", // named worker with no exit path
+		},
+		"lockguard": {
+			"internal/lockg/lockg.go:27", // write without the lock
+			"internal/lockg/lockg.go:42", // contract call without the lock
+			"internal/lockg/lockg.go:72", // write under RLock
+			"internal/lockg/lockg.go:78", // registered struct, no annotations
+		},
+		"lockorder": {
+			"internal/lockord/lockord.go:16", // a->b edge closing the AB/BA cycle
+		},
 		"maprange": {
 			"internal/maprange/mr.go:26", // append without sort
 			"internal/maprange/mr.go:35", // encode via Fprintf

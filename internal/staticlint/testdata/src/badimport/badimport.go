@@ -1,0 +1,7 @@
+// Package badimport imports a module-local package that does not
+// exist on disk.
+package badimport
+
+import "badimport/internal/nothere"
+
+var _ = nothere.X

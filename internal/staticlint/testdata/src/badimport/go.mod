@@ -1,0 +1,3 @@
+module badimport
+
+go 1.24

@@ -1,0 +1,69 @@
+// Package leak plants fire-and-forget goroutines next to the three
+// accepted shutdown disciplines.
+package leak
+
+import (
+	"context"
+	"sync"
+)
+
+// Forever spins with no exit signal: planted bug.
+func Forever() {
+	go func() {
+		for {
+			step()
+		}
+	}()
+}
+
+// WithCtx ties the goroutine to ctx: clean twin.
+func WithCtx(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				use(v)
+			}
+		}
+	}()
+}
+
+// WithWG joins through the wait group: clean twin.
+func WithWG(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			step()
+		}()
+	}
+	wg.Wait()
+}
+
+// Drain ranges the channel until it closes: clean twin.
+func Drain(ch chan int) {
+	go func() {
+		for v := range ch {
+			use(v)
+		}
+	}()
+}
+
+// run is a named worker with no exit path; the finding lands on the
+// go statement that spawns it.
+func run(ch chan int) {
+	for {
+		ch <- 1
+	}
+}
+
+// SpawnNamed spawns the leaky named worker: planted bug.
+func SpawnNamed(ch chan int) {
+	go run(ch)
+}
+
+func step()     {}
+func use(v int) { _ = v }

@@ -1,0 +1,278 @@
+// Package lockg plants lockguard violations next to clean twins: an
+// unguarded write, a contract call without the lock, a write under a
+// read lock, and a registered struct with no annotations.
+package lockg
+
+import (
+	"os"
+	"sync"
+)
+
+// Box is a guarded counter.
+type Box struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	r  int // guarded by mu
+}
+
+// Get locks around the read: clean twin.
+func (b *Box) Get() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// Bump writes the guarded field without the lock: planted bug.
+func (b *Box) Bump() {
+	b.n++
+}
+
+// bumpLocked is the annotated helper; requires mu held.
+func (b *Box) bumpLocked() { b.n++ }
+
+// Sum calls the helper while holding the lock: clean twin.
+func (b *Box) Sum() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.bumpLocked()
+	return b.n + b.r
+}
+
+// BadCall calls the annotated helper without the lock: planted bug.
+func (b *Box) BadCall() { b.bumpLocked() }
+
+// Reset shows the branch join: both arms hold the lock, so the write
+// after the if is clean.
+func (b *Box) Reset(hard bool) {
+	if hard {
+		b.mu.Lock()
+	} else {
+		b.mu.Lock()
+	}
+	b.n = 0
+	b.mu.Unlock()
+}
+
+// RW is a read-write guarded value.
+type RW struct {
+	mu sync.RWMutex
+	v  int // guarded by mu
+}
+
+// Read holds the read lock: clean twin.
+func (r *RW) Read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.v
+}
+
+// BadWrite mutates under only a read lock: planted bug.
+func (r *RW) BadWrite() {
+	r.mu.RLock()
+	r.v++
+	r.mu.RUnlock()
+}
+
+// Naked is registered in the fixture lock registry but annotates no
+// field: the registry finding proves missing annotations cannot hide.
+type Naked struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Touch locks conventionally; only the missing annotation fires.
+func (k *Naked) Touch() {
+	k.mu.Lock()
+	k.n++
+	k.mu.Unlock()
+}
+
+// --- clean twins exercising the walker's full statement surface ---
+
+// table pairs a guarded map with a guarded scalar, so index writes and
+// pointer hand-outs both hit the lock-set checks.
+type table struct {
+	mu   sync.Mutex
+	m    map[string]int // guarded by mu
+	mode int            // guarded by mu
+}
+
+// regMu is a package-level mutex: its lock identity is the package
+// variable itself, not a struct field.
+var regMu sync.Mutex
+
+var reg int
+
+// Classify drives switch, type-switch and select joins with the lock
+// held on every path: clean twin.
+func (t *table) Classify(k string, v any, ch chan int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch k {
+	case "a":
+		t.mode = 1
+	case "b":
+		t.mode = 2
+	default:
+		t.mode = 0
+	}
+	switch v := v.(type) {
+	case int:
+		t.m[k] = v
+	case string:
+		t.m[k] = len(v)
+	}
+	select {
+	case n := <-ch:
+		t.m[k] += n
+	default:
+	}
+	return t.mode
+}
+
+// drainLocked empties the table through a parameter-rooted contract;
+// requires t.mu held.
+func drainLocked(t *table) {
+	for k := range t.m {
+		delete(t.m, k)
+	}
+}
+
+// Drain locks, then delegates to the parameter-contract helper: clean
+// twin of a contract call resolved through an argument, not a
+// receiver.
+func (t *table) Drain() {
+	t.mu.Lock()
+	drainLocked(t)
+	t.mu.Unlock()
+}
+
+// Ptr hands out the guarded field's address only under the lock.
+func (t *table) Ptr() {
+	t.mu.Lock()
+	p := &t.mode
+	*p = 3
+	t.mu.Unlock()
+}
+
+// Global bumps a package-level counter under the package-level mutex.
+func Global() {
+	regMu.Lock()
+	reg++
+	regMu.Unlock()
+}
+
+// Scratch locks a function-local mutex, whose identity collapses to
+// the package.
+func Scratch() int {
+	var mu sync.Mutex
+	n := 0
+	mu.Lock()
+	n++
+	mu.Unlock()
+	return n
+}
+
+// Peek reads under either lock flavour; the branch join keeps the
+// weaker capability, so the read stays clean.
+func (r *RW) Peek(fast bool) int {
+	if fast {
+		r.mu.RLock()
+		defer r.mu.RUnlock()
+	} else {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
+	return r.v
+}
+
+// Demote writes first, reads second: the join of a write lock and a
+// read lock is a read lock, so the trailing read is still clean.
+func (r *RW) Demote(fast bool) int {
+	if !fast {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	} else {
+		r.mu.RLock()
+		defer r.mu.RUnlock()
+	}
+	return r.v
+}
+
+// Pair nests two instances of the same lock; the collapsed identity
+// makes that a self-edge, which the order graph deliberately skips.
+func Pair(x, y *Box) {
+	x.mu.Lock()
+	if y != nil {
+		y.mu.Lock()
+	}
+	x.n = 1
+	x.mu.Unlock()
+	if y != nil {
+		y.mu.Unlock()
+	}
+}
+
+// wrap reaches a lock through a two-hop field path, so contracts and
+// identities resolve across an intermediate struct.
+type wrap struct {
+	inner table
+}
+
+// resetLocked zeroes the inner mode; requires w.inner.mu held.
+func resetLocked(w *wrap) {
+	w.inner.mode = 0
+}
+
+// ResetInner acquires the inner lock through the wrapper: clean twin
+// of a multi-hop contract.
+func (w *wrap) ResetInner() {
+	w.inner.mu.Lock()
+	resetLocked(w)
+	w.inner.mu.Unlock()
+}
+
+// anon is a mutex inside an anonymous struct: no named owner, so its
+// lock identity falls back to the expression form.
+var anon = struct {
+	mu sync.Mutex
+	n  int
+}{}
+
+// Anon locks the anonymous struct's mutex conventionally.
+func Anon() {
+	anon.mu.Lock()
+	anon.n++
+	anon.mu.Unlock()
+}
+
+// Must panics on the error path; the panicking branch terminates, so
+// the join keeps the lock for the trailing read.
+func (t *table) Must(ok bool) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !ok {
+		panic("bad table")
+	}
+	if t.mode < 0 {
+		os.Exit(1)
+	}
+	return t.mode
+}
+
+// Exercise walks the remaining expression shapes - slices, type
+// asserts, composite literals, pointer reads - with the lock held.
+func (t *table) Exercise(v any, xs []int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pair := []int{t.mode, t.m["a"]}
+	sub := xs[0:len(pair)]
+	if n, ok := v.(int); ok && t.mode > n {
+		t.mode = n - len(sub)
+	}
+	p := &t.mode
+	n := *p
+	byName := map[string]int{"base": n}
+	_ = table{mode: 1} // composite-literal keys are field names, not reads
+	return byName["base"] + pair[0]
+}

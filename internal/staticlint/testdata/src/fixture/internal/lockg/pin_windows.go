@@ -1,0 +1,8 @@
+// Excluded from the analysed program on every CI platform by its
+// GOOS filename suffix; exists so the loader's OS/arch file selection
+// is exercised on a real package.
+package lockg
+
+// winPinned would be a planted unguarded write if this file were ever
+// selected on linux CI; it must not appear in the fixture golden.
+func winPinned(b *Box) { b.n++ }

@@ -1,0 +1,48 @@
+// Package lockord plants an AB/BA lock-order cycle next to a clean,
+// consistently ordered third lock.
+package lockord
+
+import "sync"
+
+var (
+	a sync.Mutex
+	b sync.Mutex
+	c sync.Mutex
+)
+
+// TakeAB nests b under a: one half of the planted cycle.
+func TakeAB() {
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+}
+
+// TakeBA nests a under b: the other half; together a cycle.
+func TakeBA() {
+	b.Lock()
+	a.Lock()
+	a.Unlock()
+	b.Unlock()
+}
+
+// TakeAC and TakeBC keep c strictly innermost: clean twins, no cycle
+// through c.
+func TakeAC() {
+	a.Lock()
+	defer a.Unlock()
+	lockC()
+}
+
+// TakeBC reaches c through a helper call, proving edges propagate
+// interprocedurally without creating false cycles.
+func TakeBC() {
+	b.Lock()
+	defer b.Unlock()
+	lockC()
+}
+
+func lockC() {
+	c.Lock()
+	c.Unlock()
+}

@@ -107,7 +107,7 @@ type Store struct {
 	rec *obs.Recorder
 
 	mu    sync.Mutex
-	stats Stats
+	stats Stats // guarded by mu
 }
 
 // Open opens (creating if necessary) the store rooted at dir. maxBytes
